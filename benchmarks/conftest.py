@@ -1,0 +1,44 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Every benchmark regenerates one of the paper's tables/figures.  The
+number of network configurations defaults to a laptop-friendly subset;
+set ``REPRO_CONFIGS`` (the paper uses 300) to scale any benchmark up:
+
+    REPRO_CONFIGS=300 pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import ExperimentSetup
+
+
+def configured_configs(default: int) -> int:
+    """Config count for a benchmark, overridable via REPRO_CONFIGS.
+
+    ``REPRO_CONFIGS`` names the *figure-6 scale*; cheaper figures keep
+    their own default ratio to it.
+    """
+    override = os.environ.get("REPRO_CONFIGS")
+    if override is None:
+        return default
+    requested = int(override)
+    if requested <= 0:
+        raise ValueError("REPRO_CONFIGS must be positive")
+    # Scale the figure's default proportionally to fig6's default of 30.
+    return max(2, round(default * requested / 30))
+
+
+@pytest.fixture(scope="session")
+def paper_setup() -> ExperimentSetup:
+    """The paper's main experimental setup: 8 servers, binary tree,
+    180 images/server, 10-minute relocation period."""
+    return ExperimentSetup()
+
+
+def show(title: str, table: str) -> None:
+    """Print a result table (visible with ``-s`` or on failures)."""
+    print(f"\n{'=' * 72}\n{title}\n{'=' * 72}\n{table}\n")

@@ -1,0 +1,33 @@
+"""Figure 10: combination order — complete binary vs left-deep trees.
+
+The paper reruns the on-line algorithms with a left-deep (linear)
+combination order and finds the complete binary order better for both.
+"""
+
+from benchmarks.conftest import configured_configs, show
+from repro.experiments import fig10_tree_shape
+
+
+def test_fig10_combination_order(benchmark, paper_setup):
+    n_configs = configured_configs(20)
+
+    result = benchmark.pedantic(
+        fig10_tree_shape,
+        args=(paper_setup,),
+        kwargs={"n_configs": n_configs},
+        rounds=1,
+        iterations=1,
+    )
+    show(f"Figure 10 ({n_configs} configurations)", result.format_table())
+
+    # Both orders still yield large gains over download-all.
+    assert result.mean(result.global_binary) > 1.5
+    assert result.mean(result.global_left_deep) > 1.5
+    # The binary order is at least as good as left-deep for the global
+    # algorithm (the paper's central Figure 10 claim).
+    assert result.mean(result.global_binary) >= 0.95 * result.mean(
+        result.global_left_deep
+    )
+    # Local stays in the same band under both orders.
+    assert result.mean(result.local_binary) > 1.2
+    assert result.mean(result.local_left_deep) > 1.2

@@ -1,0 +1,42 @@
+"""Figure 6 + the §5 inter-arrival table: the main comparison.
+
+Four placement policies over N random network configurations (paper:
+300), 8 servers, complete binary tree, 180 images/server, 10-minute
+relocation period.  The paper's headline numbers:
+
+* all relocation algorithms significantly beat download-all;
+* global achieves a ~40 % median improvement over one-shot;
+* global beats local with a median ratio of ~1.25;
+* mean inter-arrival: 101.2 s (download-all) -> 24.6 (one-shot)
+  -> 22 (local) -> 17.1 (global).
+"""
+
+from benchmarks.conftest import configured_configs, show
+from repro.experiments import fig6_main_comparison
+
+
+def test_fig6_main_comparison(benchmark, paper_setup):
+    n_configs = configured_configs(30)
+
+    result = benchmark.pedantic(
+        fig6_main_comparison,
+        args=(paper_setup,),
+        kwargs={"n_configs": n_configs},
+        rounds=1,
+        iterations=1,
+    )
+    show(f"Figure 6 ({n_configs} configurations)", result.format_table())
+
+    # Shape claims (tolerant thresholds for subset runs).
+    assert result.one_shot_speedups.mean() > 1.5
+    assert result.local_speedups.mean() > 1.5
+    assert result.global_speedups.mean() > 1.5
+    # On-line relocation adds a consistent improvement over one-shot.
+    assert result.median_global_over_one_shot > 1.10
+    # Global beats local (paper: "except in a few cases").
+    assert result.median_global_over_local > 1.0
+    # Inter-arrival ordering: download-all slowest, global fastest.
+    ia = result.mean_interarrival
+    assert ia["download-all"] > ia["one-shot"]
+    assert ia["download-all"] > ia["local"]
+    assert ia["global"] == min(ia.values())

@@ -1,0 +1,30 @@
+"""Figure 7: extra random candidate sites for the local algorithm.
+
+The paper lets the local algorithm consider up to k=6 additional,
+randomly chosen hosts per relocation decision (each one charging extra
+monitoring traffic) and finds "no significant difference in performance".
+"""
+
+from benchmarks.conftest import configured_configs, show
+from repro.experiments import fig7_extra_sites
+
+
+def test_fig7_extra_candidate_sites(benchmark, paper_setup):
+    n_configs = configured_configs(10)
+    ks = (0, 1, 2, 4, 6)
+
+    result = benchmark.pedantic(
+        fig7_extra_sites,
+        args=(paper_setup,),
+        kwargs={"n_configs": n_configs, "ks": ks},
+        rounds=1,
+        iterations=1,
+    )
+    show(f"Figure 7 ({n_configs} configurations)", result.format_table())
+
+    # Every variant still beats download-all comfortably...
+    assert min(result.mean_speedups) > 1.3
+    # ...and extra sites change little: the spread across k stays small
+    # relative to the speedups themselves (paper: "no significant
+    # difference").
+    assert result.spread() < 0.35 * max(result.mean_speedups)

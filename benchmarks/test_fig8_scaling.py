@@ -1,0 +1,38 @@
+"""Figure 8: scaling the number of data sources from 4 to 32.
+
+The paper's finding (which surprised the authors): the global algorithm
+scales better than both one-shot and local — the local algorithm's slow
+convergence hurts it more as configurations grow.
+"""
+
+from benchmarks.conftest import configured_configs, show
+from repro.experiments import fig8_server_scaling
+
+
+def test_fig8_server_scaling(benchmark, paper_setup):
+    n_configs = configured_configs(6)
+    counts = (4, 8, 16, 32)
+
+    result = benchmark.pedantic(
+        fig8_server_scaling,
+        args=(paper_setup,),
+        kwargs={"n_configs": n_configs, "server_counts": counts},
+        rounds=1,
+        iterations=1,
+    )
+    show(f"Figure 8 ({n_configs} configurations)", result.format_table())
+
+    global_means = result.mean_speedups["global"]
+    one_shot_means = result.mean_speedups["one-shot"]
+    local_means = result.mean_speedups["local"]
+
+    # Relocation beats download-all at every size.
+    assert min(global_means) > 1.3
+    assert min(one_shot_means) > 1.0
+    # At the largest size the global algorithm is the best policy.
+    assert global_means[-1] >= one_shot_means[-1]
+    assert global_means[-1] >= local_means[-1]
+    # Global's advantage over local grows with size (slow convergence).
+    small_gap = global_means[0] / local_means[0]
+    large_gap = global_means[-1] / local_means[-1]
+    assert large_gap >= small_gap * 0.9

@@ -1,0 +1,55 @@
+"""Workload generality: the paper's three application classes (§2).
+
+Measures how the combiner's data-volume shape changes the value of
+operator relocation: constant (image composition), growing (sorted
+merge) and shrinking (selective hash join) intermediate results.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import configured_configs, show
+from repro.app import CompositionSpec, JoinCombiner, MergeCombiner
+from repro.engine.config import Algorithm
+from repro.experiments.runner import run_configuration
+
+
+def mean_speedup(setup, n_configs, combiner):
+    values = []
+    for index in range(n_configs):
+        base = run_configuration(
+            setup, index, Algorithm.DOWNLOAD_ALL, compose=combiner
+        )
+        adaptive = run_configuration(
+            setup, index, Algorithm.GLOBAL, compose=combiner
+        )
+        values.append(base.completion_time / adaptive.completion_time)
+    return float(np.mean(values))
+
+
+def test_workload_classes(benchmark, paper_setup):
+    n_configs = configured_configs(6)
+    workloads = {
+        "composition (max)": CompositionSpec(),
+        "merge (sum)": MergeCombiner(),
+        "join 50% (scaled-min)": JoinCombiner(match_rate=0.5),
+        "join 10% (scaled-min)": JoinCombiner(match_rate=0.1),
+    }
+
+    def run():
+        return {
+            name: mean_speedup(paper_setup, n_configs, combiner)
+            for name, combiner in workloads.items()
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    show(
+        "Workload classes — global-over-download-all by combiner shape",
+        "\n".join(f"{name:<24} {value:5.2f}x" for name, value in results.items()),
+    )
+
+    # Every class still gains from relocation...
+    assert all(value > 1.3 for value in results.values())
+    # ...and the more the combiner reduces data, the bigger the gain:
+    # join >> composition >= merge-ish.
+    assert results["join 10% (scaled-min)"] > results["join 50% (scaled-min)"]
+    assert results["join 50% (scaled-min)"] > results["composition (max)"]

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""The paper's evaluation scenario: satellite-image composition.
+
+Eight geographically distributed servers each hold a sequence of
+satellite images (sizes ~ Normal(128 KB, 25 %)); corresponding images
+are composed pair-wise up a complete binary tree and delivered to a
+client, over links driven by two-day synthetic Internet bandwidth
+traces.  This example runs all four placement policies of the paper on a
+handful of random network configurations and prints a miniature version
+of the paper's Figure 6 / §5 table.
+
+Run:  python examples/satellite_composition.py [n_configs]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import Algorithm
+from repro.experiments import (
+    ExperimentSetup,
+    compare_algorithms,
+    speedup_series,
+)
+
+ALGORITHMS = [
+    Algorithm.DOWNLOAD_ALL,
+    Algorithm.ONE_SHOT,
+    Algorithm.LOCAL,
+    Algorithm.GLOBAL,
+]
+
+
+def main() -> None:
+    n_configs = int(sys.argv[1]) if len(sys.argv) > 1 else 5
+    setup = ExperimentSetup(num_servers=8, images_per_server=90)
+
+    print(
+        f"Running {len(ALGORITHMS)} placement policies on {n_configs} "
+        "random 8-server network configurations..."
+    )
+    done = []
+
+    def progress(index, algorithm, metrics):
+        done.append(None)
+        total = n_configs * len(ALGORITHMS)
+        print(
+            f"  [{len(done):>3}/{total}] config {index} "
+            f"{algorithm.value:<13} completion {metrics.completion_time:9.0f} s"
+        )
+
+    summaries = compare_algorithms(setup, ALGORITHMS, n_configs, progress=progress)
+    baseline = summaries[Algorithm.DOWNLOAD_ALL.value]
+
+    print()
+    print(f"{'algorithm':<14}{'mean speedup':>14}{'median':>10}{'interarrival':>14}")
+    print(f"{'download-all':<14}{1.0:>14.2f}{1.0:>10.2f}"
+          f"{baseline.mean_interarrival:>14.1f}")
+    for algorithm in ALGORITHMS[1:]:
+        summary = summaries[algorithm.value]
+        speedups = speedup_series(summary, baseline)
+        print(
+            f"{algorithm.value:<14}{np.mean(speedups):>14.2f}"
+            f"{np.median(speedups):>10.2f}{summary.mean_interarrival:>14.1f}"
+        )
+    print()
+    print("Paper (§5, 300 configs): 101.2 s -> 24.6 (one-shot), 22 (local), "
+          "17.1 (global).")
+
+
+if __name__ == "__main__":
+    main()

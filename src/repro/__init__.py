@@ -1,0 +1,44 @@
+"""repro — reproduction of "Adapting to Bandwidth Variations in Wide-Area
+Data Combination" (Ranganathan, Acharya, Saltz; ICDCS 1998).
+
+The package implements the paper's full simulated system:
+
+* :mod:`repro.sim` — a from-scratch discrete-event simulation kernel
+  (the CSIM substitute);
+* :mod:`repro.traces` — bandwidth traces and the synthetic stand-in for
+  the paper's multi-day Internet study;
+* :mod:`repro.net` — hosts with single network interfaces, trace-driven
+  links with startup costs, priority message queueing;
+* :mod:`repro.monitor` — passive monitoring, measurement caches with
+  timeout, piggybacking, on-demand probes;
+* :mod:`repro.dataflow` — combination trees, placements, the analytic
+  cost model and critical-path analysis;
+* :mod:`repro.placement` — download-all, one-shot, global and local
+  placement algorithms;
+* :mod:`repro.app` — the satellite-image-composition workload;
+* :mod:`repro.engine` — the demand-driven pipeline execution engine with
+  operator relocation, barrier change-overs and epoch wavefronts;
+* :mod:`repro.experiments` — configuration generation and the per-figure
+  reproduction harness.
+
+Quickstart::
+
+    from repro.experiments import ExperimentSetup, run_configuration
+    from repro.engine import Algorithm
+
+    setup = ExperimentSetup(num_servers=8, seed=42)
+    metrics = run_configuration(setup, config_index=0, algorithm=Algorithm.GLOBAL)
+    print(metrics.mean_interarrival)
+"""
+
+from repro.engine import Algorithm, RunMetrics, SimulationSpec, run_simulation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Algorithm",
+    "RunMetrics",
+    "SimulationSpec",
+    "__version__",
+    "run_simulation",
+]

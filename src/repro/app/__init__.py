@@ -1,0 +1,21 @@
+"""The evaluation application: satellite-image composition (§4).
+
+The paper's workload, modeled after the AVHRR Pathfinder processing at
+NASA Goddard: every server delivers a sequence of 180 images; images are
+composed pair-wise, pixel by pixel; the result is as large as the larger
+input; and a sequence of 180 composed images arrives at the client.  Image
+sizes follow the distribution the paper fitted to >1000 hurricane images
+from 15 web sites: Normal with mean 128 KB and 25 % relative deviation.
+"""
+
+from repro.app.images import ImageWorkload, sample_image_sizes
+from repro.app.composition import CompositionSpec
+from repro.app.combine import JoinCombiner, MergeCombiner
+
+__all__ = [
+    "CompositionSpec",
+    "ImageWorkload",
+    "JoinCombiner",
+    "MergeCombiner",
+    "sample_image_sizes",
+]

@@ -1,0 +1,95 @@
+"""Combiner semantics for the paper's application classes.
+
+§2 of the paper lists the application classes its assumptions cover:
+"composition/comparison of a sequence of images where each image is a
+separate partition, hashed relational join where each hash bucket is a
+separate partition, merging sorted results from multiple search engines
+where a subsequence of sorted items ... is a separate partition."
+
+A combiner defines two things the engine and the cost model need: the
+**output size** of combining two partitions and the **compute time** it
+takes.  :class:`~repro.app.composition.CompositionSpec` (output = max of
+inputs, 7 µs/pixel) is the paper's evaluated instance; this module adds
+the other two classes:
+
+* :class:`MergeCombiner` — merging sorted subsequences: the output
+  carries every input item (size = sum of inputs).
+* :class:`JoinCombiner` — a hash-join bucket: each probe-side byte can
+  match at most ``match_rate`` of the build side; the output is
+  ``match_rate * min(inputs)`` plus the surviving join keys.  This is a
+  deliberately simple semi-join-flavoured size model — joins can of
+  course explode combinatorially, which ``match_rate > 1`` expresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MergeCombiner:
+    """Merging sorted partitions (multi-way search-engine results).
+
+    Output size is the sum of the inputs; compute is a linear scan over
+    the output.
+    """
+
+    seconds_per_byte: float = 2e-7  # a compare-and-copy per item
+
+    def __post_init__(self) -> None:
+        if self.seconds_per_byte < 0:
+            raise ValueError(
+                f"seconds_per_byte must be non-negative, "
+                f"got {self.seconds_per_byte!r}"
+            )
+
+    def output_size(self, size_a: float, size_b: float) -> float:
+        """Every input item survives a merge."""
+        if size_a < 0 or size_b < 0:
+            raise ValueError("partition sizes must be non-negative")
+        return size_a + size_b
+
+    def compute_seconds(self, size_a: float, size_b: float) -> float:
+        """Linear in the merged output."""
+        return self.output_size(size_a, size_b) * self.seconds_per_byte
+
+    @property
+    def moment_rule(self) -> str:
+        """How expected sizes propagate up the tree (see cost model)."""
+        return "sum"
+
+
+@dataclass(frozen=True)
+class JoinCombiner:
+    """A pipelined hash-join bucket (one partition per hash bucket).
+
+    ``match_rate`` is the expected output bytes per byte of the smaller
+    input: 0 < rate < 1 models selective joins, rate > 1 models fan-out.
+    Compute charges a hash probe per input byte.
+    """
+
+    match_rate: float = 0.5
+    seconds_per_byte: float = 5e-7
+
+    def __post_init__(self) -> None:
+        if self.match_rate <= 0:
+            raise ValueError(f"match_rate must be positive, got {self.match_rate!r}")
+        if self.seconds_per_byte < 0:
+            raise ValueError(
+                f"seconds_per_byte must be non-negative, "
+                f"got {self.seconds_per_byte!r}"
+            )
+
+    def output_size(self, size_a: float, size_b: float) -> float:
+        """Matches are bounded by the smaller side, scaled by the rate."""
+        if size_a < 0 or size_b < 0:
+            raise ValueError("partition sizes must be non-negative")
+        return self.match_rate * min(size_a, size_b)
+
+    def compute_seconds(self, size_a: float, size_b: float) -> float:
+        """Build + probe: linear in both inputs."""
+        return (size_a + size_b) * self.seconds_per_byte
+
+    @property
+    def moment_rule(self) -> str:
+        return "scaled-min"

@@ -1,0 +1,56 @@
+"""The pair-wise image-composition operator's cost semantics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Paper constants.
+DEFAULT_SECONDS_PER_PIXEL = 7e-6
+DEFAULT_BYTES_PER_PIXEL = 1.0
+
+
+@dataclass(frozen=True)
+class CompositionSpec:
+    """Cost and size semantics of one composition operation (§4).
+
+    Images are compared pixel-by-pixel; if the inputs differ in size the
+    smaller is expanded to the larger, and the output is as large as the
+    larger input.  The paper charges 7 µs per pixel.
+    """
+
+    seconds_per_pixel: float = DEFAULT_SECONDS_PER_PIXEL
+    bytes_per_pixel: float = DEFAULT_BYTES_PER_PIXEL
+
+    def __post_init__(self) -> None:
+        if self.seconds_per_pixel < 0:
+            raise ValueError(
+                f"seconds_per_pixel must be non-negative, got {self.seconds_per_pixel!r}"
+            )
+        if self.bytes_per_pixel <= 0:
+            raise ValueError(
+                f"bytes_per_pixel must be positive, got {self.bytes_per_pixel!r}"
+            )
+
+    def output_size(self, size_a: float, size_b: float) -> float:
+        """Bytes of the composed image (max rule, §4)."""
+        if size_a < 0 or size_b < 0:
+            raise ValueError("image sizes must be non-negative")
+        return max(size_a, size_b)
+
+    def pixels(self, nbytes: float) -> float:
+        """Pixel count of an image of ``nbytes`` bytes."""
+        return nbytes / self.bytes_per_pixel
+
+    def compute_seconds(self, size_a: float, size_b: float) -> float:
+        """CPU seconds to compose two images (per-pixel over the output)."""
+        return self.pixels(self.output_size(size_a, size_b)) * self.seconds_per_pixel
+
+    @property
+    def seconds_per_byte(self) -> float:
+        """Composition cost per output byte (for the analytic cost model)."""
+        return self.seconds_per_pixel / self.bytes_per_pixel
+
+    @property
+    def moment_rule(self) -> str:
+        """How expected sizes propagate up the tree (max of inputs)."""
+        return "max"

@@ -1,0 +1,227 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro run      — simulate one algorithm on one network configuration
+    repro compare  — all four algorithms on N configurations (mini Fig. 6)
+    repro figure   — regenerate one of the paper's figures (2, 6..10)
+    repro study    — synthesize and export the bandwidth-trace study
+    repro report   — run the full evaluation and write report.md/.json
+
+Examples::
+
+    repro run --algorithm global --servers 8 --config 3
+    repro compare --configs 10
+    repro figure 8 --configs 6
+    repro report --out report/ --configs 30
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.engine.config import Algorithm
+from repro.experiments import ExperimentSetup
+from repro.experiments.figures import (
+    fig6_main_comparison,
+    fig7_extra_sites,
+    fig8_server_scaling,
+    fig9_relocation_period,
+    fig10_tree_shape,
+)
+from repro.experiments.report import ReportOptions, generate_report
+from repro.experiments.runner import (
+    compare_algorithms,
+    run_configuration,
+    speedup_series,
+)
+
+
+def _setup_from(args: argparse.Namespace) -> ExperimentSetup:
+    return ExperimentSetup(
+        num_servers=args.servers,
+        images_per_server=args.images,
+        tree_shape=args.tree,
+        seed=args.seed,
+        relocation_period=args.period,
+    )
+
+
+def _add_setup_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--servers", type=int, default=8,
+                        help="number of data servers (default 8)")
+    parser.add_argument("--images", type=int, default=180,
+                        help="images per server (default 180, as in the paper)")
+    parser.add_argument("--tree", choices=("binary", "left-deep"),
+                        default="binary", help="combination order")
+    parser.add_argument("--seed", type=int, default=1998,
+                        help="master seed (default 1998)")
+    parser.add_argument("--period", type=float, default=600.0,
+                        help="relocation period in seconds (default 600)")
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    setup = _setup_from(args)
+    metrics = run_configuration(
+        setup, args.config, Algorithm(args.algorithm)
+    )
+    payload = metrics.summary()
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        for key, value in payload.items():
+            print(f"{key:>24}: {value}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    setup = _setup_from(args)
+    algorithms = list(Algorithm)
+    total = args.configs * len(algorithms)
+    done = []
+    collected = []
+
+    def progress(index, algorithm, metrics):
+        done.append(None)
+        collected.append(metrics)
+        print(
+            f"\r  {len(done)}/{total} simulations",
+            end="" if len(done) < total else "\n",
+            flush=True,
+        )
+
+    summaries = compare_algorithms(
+        setup, algorithms, args.configs, progress=progress
+    )
+    if args.out:
+        from repro.experiments.persistence import save_runs_csv, save_runs_json
+
+        out = Path(args.out)
+        if out.suffix == ".csv":
+            save_runs_csv(collected, out)
+        else:
+            save_runs_json(collected, out)
+        print(f"per-run metrics written to {out}")
+    baseline = summaries[Algorithm.DOWNLOAD_ALL.value]
+    print(f"\n{'algorithm':<14}{'mean speedup':>13}{'median':>9}"
+          f"{'mean interarrival (s)':>23}")
+    print(f"{'download-all':<14}{1.0:>13.2f}{1.0:>9.2f}"
+          f"{baseline.mean_interarrival:>23.1f}")
+    for algorithm in algorithms[1:]:
+        summary = summaries[algorithm.value]
+        speedups = speedup_series(summary, baseline)
+        print(
+            f"{algorithm.value:<14}{float(np.mean(speedups)):>13.2f}"
+            f"{float(np.median(speedups)):>9.2f}"
+            f"{summary.mean_interarrival:>23.1f}"
+        )
+    return 0
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    setup = _setup_from(args)
+    number = args.number
+    if number == 2:
+        from repro.traces import InternetStudy, trace_stats
+        from repro.traces.stats import library_change_interval
+
+        library = InternetStudy(seed=setup.study_seed).run()
+        stats = trace_stats(library.trace("wisc", "ucla"))
+        print(f"wisc~ucla: mean {stats.mean_rate / 1024:.1f} KB/s, "
+              f"cv {stats.cv:.2f}, {stats.n_changes} significant changes")
+        print(f"mean >=10% change interval across the library: "
+              f"{library_change_interval(library.all_traces()):.0f} s "
+              "(paper: ~120 s)")
+        return 0
+    producers = {
+        6: lambda: fig6_main_comparison(setup, n_configs=args.configs),
+        7: lambda: fig7_extra_sites(setup, n_configs=args.configs),
+        8: lambda: fig8_server_scaling(setup, n_configs=args.configs),
+        9: lambda: fig9_relocation_period(setup, n_configs=args.configs),
+        10: lambda: fig10_tree_shape(setup, n_configs=args.configs),
+    }
+    result = producers[number]()
+    print(result.format_table())
+    return 0
+
+
+def cmd_study(args: argparse.Namespace) -> int:
+    from repro.traces import InternetStudy, save_library_json
+    from repro.traces.stats import library_change_interval
+
+    library = InternetStudy(seed=args.seed).run()
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    path = out / "trace_library.json"
+    save_library_json(library, path)
+    print(f"{len(library)} host-pair traces written to {path}")
+    print(f"mean >=10% change interval: "
+          f"{library_change_interval(library.all_traces()):.0f} s")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    setup = _setup_from(args)
+    options = ReportOptions(n_configs=args.configs)
+    generate_report(setup, options, out_dir=args.out)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Adapting to Bandwidth Variations in "
+        "Wide-Area Data Combination' (ICDCS 1998).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="simulate one algorithm on one configuration")
+    _add_setup_arguments(run)
+    run.add_argument("--algorithm", choices=[a.value for a in Algorithm],
+                     default="global")
+    run.add_argument("--config", type=int, default=0,
+                     help="network-configuration index (default 0)")
+    run.add_argument("--json", action="store_true", help="JSON output")
+    run.set_defaults(func=cmd_run)
+
+    compare = sub.add_parser("compare", help="all four algorithms, N configs")
+    _add_setup_arguments(compare)
+    compare.add_argument("--configs", type=int, default=5)
+    compare.add_argument("--out", default=None,
+                         help="archive per-run metrics (.json or .csv)")
+    compare.set_defaults(func=cmd_compare)
+
+    figure = sub.add_parser("figure", help="regenerate one paper figure")
+    figure.add_argument("number", type=int, choices=(2, 6, 7, 8, 9, 10))
+    _add_setup_arguments(figure)
+    figure.add_argument("--configs", type=int, default=10)
+    figure.set_defaults(func=cmd_figure)
+
+    study = sub.add_parser("study", help="export the bandwidth-trace study")
+    study.add_argument("--seed", type=int, default=1998)
+    study.add_argument("--out", default="study_output")
+    study.set_defaults(func=cmd_study)
+
+    report = sub.add_parser("report", help="full evaluation -> report.md/json")
+    _add_setup_arguments(report)
+    report.add_argument("--configs", type=int, default=30)
+    report.add_argument("--out", default="report")
+    report.set_defaults(func=cmd_report)
+
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,267 @@
+"""Critical-path computation over a placed combination tree.
+
+"Critical path is defined as the length of the longest path from a server
+to the final destination (the client)" (§2), and a path's length must be
+priced under the paper's assumption 2: every host has a **single network
+interface** that sends or receives one message at a time, so all
+transfers adjacent to a host serialize through its NIC.
+
+The computation is pipelined (180 partitions flow through the tree), so a
+path is as slow as its *most occupied* host: per partition, a host's
+resources are busy for
+
+    occupancy(h) = all remote transfers adjacent to h   (NIC serialization)
+                 + compositions of the operators on h   (CPU)
+                 + disk reads of the servers on h       (disk)
+
+and a server-to-client path ``P`` costs
+
+    cost(P) = max( sum of node costs + sum of edge costs along P,   # latency
+                   max occupancy over the hosts P visits )          # bottleneck
+
+The placement's cost is the maximum over all paths.  Under download-all
+the client's occupancy contains every server's transfer — this is the
+end-point congestion that makes the base case slow, and shedding it is
+what the relocation algorithms buy.  The latency term keeps faraway
+detours priced in.  Without the occupancy term (a naive reading of
+"longest path") the model cannot see congestion at all and the one-shot
+search never escapes the all-at-client initialization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dataflow.cost import BandwidthEstimator, CostModel
+from repro.dataflow.placement import Placement
+from repro.dataflow.tree import CombinationTree
+
+
+@dataclass(frozen=True)
+class CriticalPath:
+    """The most expensive server-to-client chain under a placement."""
+
+    #: Node ids from the critical server up to and including the client.
+    nodes: tuple[str, ...]
+    #: Length of the path, seconds per partition.
+    cost: float
+
+    @property
+    def operators(self) -> tuple[str, ...]:
+        """The operator nodes on the path (the relocation candidates)."""
+        return tuple(n for n in self.nodes if n.startswith("op"))
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self.nodes
+
+
+def host_occupancy(
+    tree: CombinationTree,
+    placement: Placement,
+    cost_model: CostModel,
+    estimator: BandwidthEstimator,
+) -> tuple[dict[str, float], dict[str, float]]:
+    """Per-edge transfer times and per-host per-partition occupancy.
+
+    Returns ``(edge_seconds, occupancy)``: ``edge_seconds[child]`` is the
+    transfer time of the edge above ``child`` (0 if co-located);
+    ``occupancy[host]`` is the host's per-partition busy time — NIC
+    (every adjacent remote transfer), CPU (compositions placed there) and
+    disk (server reads).
+    """
+    assignment = placement.assignment
+    node_seconds = cost_model.node_seconds
+    startup = cost_model.startup_cost
+    min_bw = cost_model.min_bandwidth
+    edge_seconds: dict[str, float] = {}
+    occupancy: dict[str, float] = {}
+
+    for node_id, host in assignment.items():
+        occupancy[host] = occupancy.get(host, 0.0) + node_seconds(node_id)
+    for child, parent, size in cost_model.edges:
+        child_host = assignment[child]
+        parent_host = assignment[parent]
+        if child_host == parent_host:
+            edge_seconds[child] = 0.0
+            continue
+        bandwidth = estimator(child_host, parent_host)
+        if bandwidth < min_bw:
+            bandwidth = min_bw
+        seconds = startup + size / bandwidth
+        edge_seconds[child] = seconds
+        occupancy[child_host] += seconds
+        occupancy[parent_host] += seconds
+    return edge_seconds, occupancy
+
+
+def critical_path(
+    tree: CombinationTree,
+    placement: Placement,
+    cost_model: CostModel,
+    estimator: BandwidthEstimator,
+) -> CriticalPath:
+    """Compute the critical path exactly (all server-to-client paths).
+
+    Ties break toward the first path in server order, so the result is
+    deterministic.
+    """
+    edge_seconds, occupancy = host_occupancy(
+        tree, placement, cost_model, estimator
+    )
+    assignment = placement.assignment
+    node_seconds = cost_model.node_seconds
+    best_nodes: tuple[str, ...] = ()
+    best_cost = float("-inf")
+    for path in cost_model.server_paths:
+        latency = 0.0
+        bottleneck = 0.0
+        for node_id in path:
+            latency += node_seconds(node_id)
+            host_occ = occupancy[assignment[node_id]]
+            if host_occ > bottleneck:
+                bottleneck = host_occ
+        for node_id in path[:-1]:
+            latency += edge_seconds[node_id]
+        cost = latency if latency > bottleneck else bottleneck
+        if cost > best_cost:
+            best_cost = cost
+            best_nodes = path
+    return CriticalPath(nodes=best_nodes, cost=best_cost)
+
+
+def placement_cost(
+    tree: CombinationTree,
+    placement: Placement,
+    cost_model: CostModel,
+    estimator: BandwidthEstimator,
+) -> float:
+    """Convenience: just the critical-path cost."""
+    return critical_path(tree, placement, cost_model, estimator).cost
+
+
+class SingleMoveEvaluator:
+    """Incremental placement-cost evaluation for single-operator moves.
+
+    The placement cost is ``max(max-path latency, max-host occupancy)``
+    (every host holding a node lies on some server path, so the per-path
+    bottleneck maximum equals the global host-occupancy maximum).  Moving
+    one operator changes at most three edges (its two input edges and its
+    output edge) and the occupancy of a handful of hosts, so a candidate
+    can be priced in O(paths + hosts) instead of re-walking the tree —
+    the one-shot search prices thousands of candidates per round.
+    """
+
+    def __init__(
+        self,
+        tree: CombinationTree,
+        placement: Placement,
+        cost_model: CostModel,
+        estimator: BandwidthEstimator,
+    ) -> None:
+        self.tree = tree
+        self.cost_model = cost_model
+        self.estimator = estimator
+        self.assignment = dict(placement.assignment)
+        self.edge_seconds, self.occupancy = host_occupancy(
+            tree, placement, cost_model, estimator
+        )
+        self.path_edge_sums = [
+            sum(self.edge_seconds[node_id] for node_id in path[:-1])
+            for path in cost_model.server_paths
+        ]
+        #: op id -> ((child ids), parent id) adjacency cache.
+        self._adjacent: dict[str, tuple[tuple[str, ...], str]] = {}
+
+    def _edge(self, child: str, child_host: str, parent_host: str) -> float:
+        if child_host == parent_host:
+            return 0.0
+        cm = self.cost_model
+        bandwidth = self.estimator(child_host, parent_host)
+        if bandwidth < cm.min_bandwidth:
+            bandwidth = cm.min_bandwidth
+        return cm.startup_cost + cm.sizes[child] / bandwidth
+
+    def base_cost(self) -> float:
+        """Cost of the unmodified placement."""
+        latency = max(
+            node_sum + edge_sum
+            for node_sum, edge_sum in zip(
+                self.cost_model.path_node_sums, self.path_edge_sums
+            )
+        )
+        bottleneck = max(self.occupancy.values())
+        return latency if latency > bottleneck else bottleneck
+
+    def cost_of_move(self, op_id: str, new_host: str) -> float:
+        """Placement cost if ``op_id`` alone moved to ``new_host``."""
+        assignment = self.assignment
+        old_host = assignment[op_id]
+        if new_host == old_host:
+            return self.base_cost()
+
+        adjacency = self._adjacent.get(op_id)
+        if adjacency is None:
+            node = self.tree.node(op_id)
+            adjacency = (node.children, node.parent)
+            self._adjacent[op_id] = adjacency
+        children, parent = adjacency
+
+        # Edge deltas (the op's input edges and its output edge).
+        edge_delta: dict[str, float] = {}
+        occ_delta: dict[str, float] = {
+            old_host: -self.cost_model.node_seconds(op_id),
+            new_host: self.cost_model.node_seconds(op_id),
+        }
+
+        def bump(host: str, seconds: float) -> None:
+            occ_delta[host] = occ_delta.get(host, 0.0) + seconds
+
+        for child in children:
+            child_host = assignment[child]
+            old_edge = self.edge_seconds[child]
+            new_edge = self._edge(child, child_host, new_host)
+            edge_delta[child] = new_edge - old_edge
+            bump(child_host, new_edge - old_edge)
+            bump(old_host, -old_edge)
+            bump(new_host, new_edge)
+        if parent is not None:
+            parent_host = assignment[parent]
+            old_edge = self.edge_seconds[op_id]
+            new_edge = self._edge(op_id, new_host, parent_host)
+            edge_delta[op_id] = new_edge - old_edge
+            bump(parent_host, new_edge - old_edge)
+            bump(old_host, -old_edge)
+            bump(new_host, new_edge)
+
+        # Latency term: only paths through the op change.
+        cm = self.cost_model
+        affected = cm.paths_through.get(op_id, ())
+        latency = 0.0
+        affected_set = set(affected)
+        for index, (node_sum, edge_sum) in enumerate(
+            zip(cm.path_node_sums, self.path_edge_sums)
+        ):
+            if index in affected_set:
+                continue
+            total = node_sum + edge_sum
+            if total > latency:
+                latency = total
+        for index in affected:
+            total = cm.path_node_sums[index] + self.path_edge_sums[index]
+            for child, delta in edge_delta.items():
+                if index in cm.paths_through.get(child, ()):
+                    total += delta
+            if total > latency:
+                latency = total
+
+        # Bottleneck term: adjust the touched hosts.
+        bottleneck = 0.0
+        for host, occ in self.occupancy.items():
+            occ += occ_delta.get(host, 0.0)
+            if occ > bottleneck:
+                bottleneck = occ
+        extra = occ_delta.get(new_host)
+        if new_host not in self.occupancy and extra is not None and extra > bottleneck:
+            bottleneck = extra
+
+        return latency if latency > bottleneck else bottleneck

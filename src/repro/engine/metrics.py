@@ -1,0 +1,94 @@
+"""Run metrics: what one simulation reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RelocationEvent:
+    """One actor move: when, who, from where, to where."""
+
+    time: float
+    actor: str
+    old_host: str
+    new_host: str
+
+
+@dataclass
+class RunMetrics:
+    """Measurements collected over one simulation run."""
+
+    algorithm: str = ""
+    num_servers: int = 0
+    images: int = 0
+    #: Client-side arrival time of each composed image, seconds.
+    arrival_times: list[float] = field(default_factory=list)
+    #: Operator relocations performed.
+    relocations: int = 0
+    #: Chronological record of every actor move.
+    relocation_events: list[RelocationEvent] = field(default_factory=list)
+    #: Planning rounds executed by the on-line controller.
+    planner_runs: int = 0
+    #: Placement change-overs actually installed (plans that differed).
+    placements_installed: int = 0
+    #: Barrier protocol executions and their total stall (server suspend) time.
+    barrier_rounds: int = 0
+    barrier_stall_seconds: float = 0.0
+    #: Monitoring activity.
+    probes_sent: int = 0
+    probe_bytes: float = 0.0
+    #: Messages forwarded because a destination operator had moved.
+    forwarded_messages: int = 0
+    bytes_on_wire: float = 0.0
+    #: True if the run hit the simulation-time wall before finishing.
+    truncated: bool = False
+
+    @property
+    def completion_time(self) -> float:
+        """Time the last composed image reached the client."""
+        return self.arrival_times[-1] if self.arrival_times else float("nan")
+
+    @property
+    def mean_interarrival(self) -> float:
+        """Average seconds per delivered image (completion / count).
+
+        This matches the paper's "average inter-arrival time for processed
+        images at the client" (§5): the first image's wait counts.
+        """
+        if not self.arrival_times:
+            return float("nan")
+        return self.completion_time / len(self.arrival_times)
+
+    @property
+    def median_gap(self) -> float:
+        """Median gap between consecutive arrivals (first gap from t=0)."""
+        if not self.arrival_times:
+            return float("nan")
+        gaps = np.diff([0.0, *self.arrival_times])
+        return float(np.median(gaps))
+
+    def speedup_over(self, baseline: "RunMetrics") -> float:
+        """How much faster this run finished than ``baseline``."""
+        return baseline.completion_time / self.completion_time
+
+    def summary(self) -> dict:
+        """Plain-dict summary for serialization and tables."""
+        return {
+            "algorithm": self.algorithm,
+            "num_servers": self.num_servers,
+            "images": self.images,
+            "completion_time": self.completion_time,
+            "mean_interarrival": self.mean_interarrival,
+            "relocations": self.relocations,
+            "planner_runs": self.planner_runs,
+            "placements_installed": self.placements_installed,
+            "barrier_rounds": self.barrier_rounds,
+            "barrier_stall_seconds": self.barrier_stall_seconds,
+            "probes_sent": self.probes_sent,
+            "probe_bytes": self.probe_bytes,
+            "forwarded_messages": self.forwarded_messages,
+            "bytes_on_wire": self.bytes_on_wire,
+            "truncated": self.truncated,
+        }

@@ -1,0 +1,342 @@
+"""Shared run-time state and plumbing for the execution engine."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.app.composition import CompositionSpec
+from repro.app.images import ImageWorkload
+from repro.dataflow.placement import Placement
+from repro.dataflow.tree import CLIENT_ID, CombinationTree
+from repro.engine.config import Algorithm, SimulationSpec
+from repro.engine.metrics import RelocationEvent, RunMetrics
+from repro.engine.vectors import VectorStore
+from repro.monitor.system import MonitoringSystem
+from repro.net.host import Host
+from repro.net.message import (
+    PRIORITY_BARRIER,
+    PRIORITY_DATA,
+    Message,
+    MessageKind,
+)
+from repro.net.network import Network
+from repro.sim import Environment, Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.actors import OperatorActor
+
+
+class Runtime:
+    """Everything the actors and controllers share during one run.
+
+    The runtime owns message plumbing (with vector piggybacking for the
+    local algorithm), relocation mechanics, barrier bookkeeping for the
+    global algorithm, and the run metrics.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        network: Network,
+        monitoring: MonitoringSystem,
+        tree: CombinationTree,
+        workload: ImageWorkload,
+        spec: SimulationSpec,
+        initial_placement: Placement,
+        server_replicas: "Optional[dict[str, tuple[str, ...]]]" = None,
+    ) -> None:
+        self.env = env
+        self.network = network
+        self.monitoring = monitoring
+        self.tree = tree
+        self.workload = workload
+        self.spec = spec
+        self.compose: CompositionSpec = spec.compose
+        self.num_images = spec.images_per_server
+
+        self.initial_placement = initial_placement
+        #: The placement currently intended to be running (ground truth for
+        #: the global controller; individual nodes may lag mid-change-over).
+        self.current_placement = initial_placement
+
+        #: Replica hosts per server (primary first); single-entry tuples
+        #: mean the paper's unreplicated default.
+        self.server_replicas: dict[str, tuple[str, ...]] = dict(
+            server_replicas or {}
+        )
+        #: Immovable nodes: the client, plus every server whose data has a
+        #: single replica (with replication, servers may switch replicas
+        #: at a barrier change-over just like operators move).
+        self.pinned_hosts: dict[str, str] = {CLIENT_ID: spec.client_host}
+        for server in tree.servers():
+            replicas = self.server_replicas.get(server.node_id, ())
+            if len(replicas) <= 1:
+                self.pinned_hosts[server.node_id] = initial_placement.host_of(
+                    server.node_id
+                )
+
+        #: Per-host location/timestamp vectors over the relocatable
+        #: actors (§2.3): operators, plus replica-switchable servers.
+        movable_locations = {
+            op.node_id: initial_placement.host_of(op.node_id)
+            for op in tree.operators()
+        }
+        for server in tree.servers():
+            if server.node_id not in self.pinned_hosts:
+                movable_locations[server.node_id] = initial_placement.host_of(
+                    server.node_id
+                )
+        self.vectors: dict[str, VectorStore] = {
+            host: VectorStore(movable_locations) for host in network.hosts
+        }
+
+        self.metrics = RunMetrics(
+            algorithm=spec.algorithm.value,
+            num_servers=spec.num_servers,
+            images=self.num_images,
+        )
+        self.done: Event = env.event()
+        self.operators: dict[str, "OperatorActor"] = {}
+        #: Set by the simulation builder once the client actor exists.
+        self.client_actor = None
+
+        self._barrier_events: dict[int, Event] = {}
+        self._barrier_reports: dict[int, dict[str, int]] = {}
+
+        # Register every actor's starting location.
+        for node in tree.nodes():
+            network.register_actor(node.node_id, initial_placement.host_of(node.node_id))
+
+    # -- locations ------------------------------------------------------------
+    def host_of(self, actor: str) -> str:
+        """Ground-truth current host of an actor."""
+        return self.network.actor_host(actor)
+
+    def host_obj(self, actor: str) -> Host:
+        """The :class:`Host` an actor currently runs on."""
+        return self.network.hosts[self.host_of(actor)]
+
+    # -- messaging --------------------------------------------------------------
+    def barrier_msg_priority(self) -> int:
+        """Priority for barrier messages (ablation switch, §2.2)."""
+        return PRIORITY_BARRIER if self.spec.barrier_priority else PRIORITY_DATA
+
+    def send(
+        self,
+        kind: MessageKind,
+        src_actor: str,
+        dst_actor: str,
+        size: float,
+        payload: dict[str, Any],
+        dst_host: Optional[str] = None,
+        priority: Optional[int] = None,
+    ) -> Message:
+        """Send a message from an actor to another actor's believed host.
+
+        For the local algorithm the sender's host piggybacks its location
+        and timestamp vectors plus its own authoritative entry.
+        """
+        src_host = self.host_of(src_actor)
+        if self.spec.algorithm is Algorithm.LOCAL:
+            store = self.vectors[src_host]
+            timestamps, locations = store.snapshot()
+            payload = dict(payload)
+            payload["_vec_ts"] = timestamps
+            payload["_vec_loc"] = locations
+            payload["_from_host"] = src_host
+            if src_actor in store.timestamps:
+                payload["_sender_ts"] = store.timestamps[src_actor]
+        message = Message(
+            kind=kind,
+            src_actor=src_actor,
+            dst_actor=dst_actor,
+            size=size,
+            payload=payload,
+            priority=priority,
+        )
+        self.network.send(message, src_host=src_host, dst_host=dst_host)
+        return message
+
+    def ingest_vectors(self, message: Message, receiver_host: str) -> None:
+        """Merge piggybacked location knowledge at the receiving host."""
+        payload = message.payload
+        timestamps = payload.get("_vec_ts")
+        if timestamps is None:
+            return
+        store = self.vectors[receiver_host]
+        store.merge(timestamps, payload["_vec_loc"])
+        sender_ts = payload.get("_sender_ts")
+        if sender_ts is not None:
+            store.refresh_entry(
+                message.src_actor, payload["_from_host"], sender_ts
+            )
+
+    # -- relocation ----------------------------------------------------------------
+    def relocate(self, op_id: str, new_host: str):
+        """Process generator: move an operator (light-move window only).
+
+        Charges the operator-state transfer as a control message, re-homes
+        the actor's mailbox, performs the paper's authoritative vector
+        update at the original site, and lets the migrating operator carry
+        its bandwidth/location knowledge with it.
+        """
+        old_host = self.host_of(op_id)
+        if old_host == new_host:
+            return
+        transfer_actor = f"_xfer-{op_id}"
+        self.network.register_actor(transfer_actor, new_host)
+        state_msg = Message(
+            kind=MessageKind.CONTROL,
+            src_actor=op_id,
+            dst_actor=transfer_actor,
+            size=self.spec.op_state_bytes,
+            payload={"type": "operator-state", "operator": op_id},
+        )
+        yield self.network.send(state_msg, src_host=old_host, dst_host=new_host)
+        self.network.hosts[new_host].remove_mailbox(transfer_actor)
+
+        pending = self.network.move_actor(op_id, new_host)
+        new_mailbox = self.network.hosts[new_host].mailbox(op_id)
+        for queued in pending:
+            new_mailbox.deliver(queued)
+
+        self.vectors[old_host].record_move(op_id, new_host)
+        self.vectors[new_host].carry_from(self.vectors[old_host])
+        # The operator's own cache rides along too: its measurements are
+        # host-to-host facts it learned, not facts about the old host.
+        old_cache = self.monitoring.cache_for(old_host)
+        new_cache = self.monitoring.cache_for(new_host)
+        for entry in old_cache:
+            new_cache.merge_entry(entry)
+
+        self.metrics.relocations += 1
+        self.metrics.relocation_events.append(
+            RelocationEvent(self.env.now, op_id, old_host, new_host)
+        )
+
+    # -- monitoring helpers -------------------------------------------------------
+    def estimator_for(self, viewer_host: str):
+        """Monitoring-backed bandwidth estimator from one host's view."""
+        if self.spec.oracle_monitoring:
+            # "Perfectly fresh monitoring": the average over the last five
+            # minutes, which is what an ideal measurement service reports.
+            return lambda a, b: self.network.mean_bandwidth(
+                a, b, max(self.env.now - 300.0, 0.0), max(self.env.now, 1.0)
+            )
+
+        def estimate(a: str, b: str) -> float:
+            return self.monitoring.estimate(viewer_host, a, b, self.env.now).bandwidth
+
+        return estimate
+
+    def snapshot_estimator(self, viewer_host: str):
+        """Dict-backed estimator frozen at the current time.
+
+        Planning evaluates thousands of candidate placements; freezing the
+        viewer's monitoring view into a matrix once per planning round
+        keeps the search fast and internally consistent.
+        """
+        now = self.env.now
+        hosts = sorted(self.network.hosts)
+        matrix: dict[tuple[str, str], float] = {}
+        for i, a in enumerate(hosts):
+            for b in hosts[i + 1 :]:
+                if self.spec.oracle_monitoring:
+                    matrix[(a, b)] = self.network.mean_bandwidth(
+                        a, b, max(now - 300.0, 0.0), max(now, 1.0)
+                    )
+                else:
+                    matrix[(a, b)] = self.monitoring.estimate(
+                        viewer_host, a, b, now
+                    ).bandwidth
+
+        def estimate(a: str, b: str) -> float:
+            if a == b:
+                return float("inf")
+            return matrix[(a, b) if a < b else (b, a)]
+
+        return estimate
+
+    def remote_probe(self, requester_host: str, a: str, b: str):
+        """Process generator: have the pair ``(a, b)`` measured on behalf
+        of ``requester_host``.
+
+        If the requester is an endpoint, it probes directly.  Otherwise it
+        sends a small probe request to ``a``, ``a`` probes ``b``, and the
+        acknowledgement back to the requester piggybacks the fresh
+        measurement into the requester's cache.
+        """
+        if requester_host == a or requester_host == b:
+            near, far = (a, b) if requester_host == a else (b, a)
+            result = yield from self.monitoring.probe(near, far)
+            return result
+
+        ctl_requester = f"_probe-ctl@{requester_host}"
+        ctl_remote = f"_probe-ctl@{a}"
+        self.network.register_actor(ctl_requester, requester_host)
+        self.network.register_actor(ctl_remote, a)
+        request = Message(
+            kind=MessageKind.CONTROL,
+            src_actor=ctl_requester,
+            dst_actor=ctl_remote,
+            size=0,
+            payload={"type": "probe-request", "pair": (a, b)},
+        )
+        yield self.network.send(request, src_host=requester_host, dst_host=a)
+        self.network.hosts[a].remove_mailbox(ctl_remote)
+
+        bandwidth = yield from self.monitoring.probe(a, b)
+
+        reply = Message(
+            kind=MessageKind.CONTROL,
+            src_actor=ctl_remote,
+            dst_actor=ctl_requester,
+            size=0,
+            payload={"type": "probe-reply", "pair": (a, b), "bandwidth": bandwidth},
+        )
+        yield self.network.send(reply, src_host=a, dst_host=requester_host)
+        self.network.hosts[requester_host].remove_mailbox(ctl_requester)
+        # The reply's piggyback normally carries the measurement; make the
+        # delivery explicit in case piggybacking is disabled.
+        self.monitoring.cache_for(requester_host).update(a, b, bandwidth, self.env.now)
+        return bandwidth
+
+    # -- arrivals & barrier bookkeeping ------------------------------------------
+    def note_arrival(self, iteration: int, at: float) -> None:
+        """Record a composed image reaching the client."""
+        self.metrics.arrival_times.append(at)
+        if len(self.metrics.arrival_times) >= self.num_images and not self.done.triggered:
+            self.done.succeed(at)
+
+    @property
+    def finished(self) -> bool:
+        return self.done.triggered
+
+    def start_barrier(self, plan_seq: int) -> Event:
+        """Create the event that fires when every server has reported."""
+        event = self.env.event()
+        self._barrier_events[plan_seq] = event
+        self._barrier_reports[plan_seq] = {}
+        return event
+
+    def note_report(self, plan_seq: int, server_id: str, next_iteration: int) -> None:
+        """Register a server's barrier report; fires the event when complete."""
+        reports = self._barrier_reports.get(plan_seq)
+        if reports is None:
+            return  # late duplicate of an already-finished barrier
+        reports[server_id] = next_iteration
+        if len(reports) == len(self.tree.servers()):
+            event = self._barrier_events.pop(plan_seq)
+            self._barrier_reports.pop(plan_seq)
+            event.succeed(dict(reports))
+
+    # -- finalization -----------------------------------------------------------
+    def finalize_metrics(self, truncated: bool) -> RunMetrics:
+        """Copy subsystem counters into the run metrics and return them."""
+        metrics = self.metrics
+        metrics.truncated = truncated
+        metrics.probes_sent = self.monitoring.stats.probes_sent
+        metrics.probe_bytes = self.monitoring.stats.probe_bytes
+        metrics.forwarded_messages = self.network.stats.forwarded
+        metrics.bytes_on_wire = self.network.stats.bytes_on_wire
+        return metrics

@@ -1,0 +1,179 @@
+"""Build and run one complete simulation from a :class:`SimulationSpec`."""
+
+from __future__ import annotations
+
+from repro.app.images import ImageWorkload
+from repro.dataflow.cost import CostModel, expected_output_sizes
+from repro.dataflow.placement import Placement
+from repro.dataflow.tree import (
+    CombinationTree,
+    complete_binary_tree,
+    left_deep_tree,
+)
+from repro.engine.actors import ClientActor, OperatorActor, ServerActor
+from repro.engine.config import Algorithm, SimulationSpec
+from repro.engine.controllers import GlobalController, LocalController
+from repro.engine.metrics import RunMetrics
+from repro.engine.runtime import Runtime
+from repro.monitor.system import MonitoringSystem
+from repro.net.host import Host
+from repro.net.link import Link
+from repro.net.network import Network
+from repro.placement.download_all import download_all_placement
+from repro.placement.global_planner import GlobalPlanner
+from repro.placement.one_shot import OneShotPlanner
+from repro.sim import Environment
+
+import numpy as np
+
+
+def derive_server_replicas(
+    spec: SimulationSpec, server_hosts_map: dict[str, str]
+) -> dict[str, tuple[str, ...]]:
+    """Replica hosts per server (primary first), from the workload seed.
+
+    With ``replication_factor == 1`` every server has just its primary
+    host (the paper's assumption 3).
+    """
+    replicas: dict[str, tuple[str, ...]] = {}
+    rng = np.random.default_rng((spec.workload_seed, 7351))
+    for server_id, primary in sorted(server_hosts_map.items()):
+        others = [h for h in spec.all_hosts if h != primary]
+        extra_count = min(spec.replication_factor - 1, len(others))
+        if extra_count > 0:
+            picks = rng.choice(len(others), size=extra_count, replace=False)
+            replicas[server_id] = (primary, *(others[i] for i in sorted(picks)))
+        else:
+            replicas[server_id] = (primary,)
+    return replicas
+
+
+def build_tree(spec: SimulationSpec) -> CombinationTree:
+    """The combination tree requested by the spec."""
+    if spec.tree_shape == "binary":
+        return complete_binary_tree(spec.num_servers)
+    return left_deep_tree(spec.num_servers)
+
+
+def build_simulation(spec: SimulationSpec) -> tuple[Environment, Runtime]:
+    """Assemble network, monitoring, tree, placement, actors, controllers."""
+    env = Environment()
+    network = Network(env)
+    for host_name in spec.all_hosts:
+        network.add_host(
+            Host(
+                env,
+                host_name,
+                disk_rate=spec.disk_rate,
+                nic_capacity=spec.nic_capacity,
+            )
+        )
+    hosts = list(spec.all_hosts)
+    for i, a in enumerate(hosts):
+        for b in hosts[i + 1 :]:
+            key = (a, b) if a < b else (b, a)
+            network.add_link(
+                Link(a, b, spec.link_traces[key], startup_cost=spec.startup_cost)
+            )
+
+    monitoring = MonitoringSystem(network, spec.monitoring)
+    if spec.seed_initial_snapshot:
+        monitoring.seed_snapshot(0.0)
+
+    tree = build_tree(spec)
+    workload = ImageWorkload.generate(
+        spec.num_servers,
+        spec.images_per_server,
+        spec.mean_image_size,
+        spec.image_rel_std,
+        seed=spec.workload_seed,
+    )
+    sizes = expected_output_sizes(
+        tree, spec.mean_image_size, spec.image_rel_std, combiner=spec.compose
+    )
+    cost_model = CostModel(
+        tree,
+        sizes,
+        startup_cost=spec.startup_cost,
+        disk_rate=spec.disk_rate,
+        combiner=spec.compose,
+    )
+
+    server_hosts_map = {
+        server.node_id: spec.server_hosts[index]
+        for index, server in enumerate(tree.servers())
+    }
+    server_replicas = derive_server_replicas(spec, server_hosts_map)
+    initial = _initial_placement(
+        spec, tree, cost_model, monitoring, server_hosts_map, server_replicas
+    )
+
+    runtime = Runtime(
+        env,
+        network,
+        monitoring,
+        tree,
+        workload,
+        spec,
+        initial,
+        server_replicas=server_replicas,
+    )
+
+    client_actor = ClientActor(runtime, tree.client)
+    runtime.client_actor = client_actor
+    env.process(client_actor.run(), name="client")
+    for index, server in enumerate(tree.servers()):
+        actor = ServerActor(runtime, server, index)
+        env.process(actor.run(), name=server.node_id)
+    for op in tree.operators():
+        actor = OperatorActor(runtime, op)
+        env.process(actor.run(), name=op.node_id)
+
+    if spec.algorithm is Algorithm.GLOBAL:
+        planner = GlobalPlanner(
+            tree,
+            list(spec.all_hosts),
+            cost_model,
+            server_replicas=server_replicas,
+        )
+        controller = GlobalController(runtime, planner, client_actor)
+        env.process(controller.run(), name="global-controller")
+    elif spec.algorithm is Algorithm.LOCAL:
+        LocalController(runtime, cost_model).start()
+
+    return env, runtime
+
+
+def _initial_placement(
+    spec: SimulationSpec,
+    tree: CombinationTree,
+    cost_model: CostModel,
+    monitoring: MonitoringSystem,
+    server_hosts_map: dict[str, str],
+    server_replicas: "dict[str, tuple[str, ...]] | None" = None,
+) -> Placement:
+    """Initial operator placement per algorithm (§2).
+
+    download-all starts (and stays) with every operator at the client; the
+    other three algorithms start from a one-shot plan computed with the
+    information available at t=0.
+    """
+    download = download_all_placement(tree, server_hosts_map, spec.client_host)
+    if spec.algorithm is Algorithm.DOWNLOAD_ALL:
+        return download
+
+    def estimator(a: str, b: str) -> float:
+        return monitoring.estimate(spec.client_host, a, b, 0.0).bandwidth
+
+    planner = OneShotPlanner(
+        tree, list(spec.all_hosts), cost_model, server_replicas=server_replicas
+    )
+    return planner.plan(estimator, initial=download).placement
+
+
+def run_simulation(spec: SimulationSpec) -> RunMetrics:
+    """Run one experiment to completion and return its metrics."""
+    env, runtime = build_simulation(spec)
+    stop = env.any_of([runtime.done, env.timeout(spec.max_sim_time)])
+    env.run(until=stop)
+    return runtime.finalize_metrics(truncated=not runtime.finished)

@@ -1,0 +1,98 @@
+"""Per-host location/timestamp vectors for the local algorithm (§2.3).
+
+"All participating hosts maintain two vectors — a timestamp vector and a
+location vector.  Each vector has one entry for each operator.  When an
+operator is repositioned, the original site updates the corresponding
+entry in the location vector and increments the corresponding entry in
+the timestamp vector.  The new information is propagated to peers ... by
+piggybacking it on outgoing messages.  If the incoming timestamp vector
+dominates the timestamp vector at the receiver, both the vectors at the
+receiver are overwritten."
+
+We implement the paper's dominance-overwrite rule, plus one addition the
+physical system gets for free: a message *from* operator X arriving from
+host H proves X is at H, so the single entry for the sender is refreshed
+whenever the sender's timestamp entry is newer.  Without this, two hosts
+holding incomparable vectors would never converge.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+
+class VectorStore:
+    """One host's view of where every operator lives."""
+
+    def __init__(self, initial_locations: Mapping[str, str]) -> None:
+        #: operator id -> monotonically increasing move counter.
+        self.timestamps: dict[str, int] = {op: 0 for op in initial_locations}
+        #: operator id -> believed host.
+        self.locations: dict[str, str] = dict(initial_locations)
+
+    def location_of(self, op_id: str) -> str:
+        """Believed host of ``op_id``."""
+        try:
+            return self.locations[op_id]
+        except KeyError:
+            raise KeyError(f"vector store has no operator {op_id!r}") from None
+
+    def record_move(self, op_id: str, new_host: str) -> None:
+        """The authoritative update made at the site performing a move."""
+        if op_id not in self.locations:
+            raise KeyError(f"vector store has no operator {op_id!r}")
+        self.locations[op_id] = new_host
+        self.timestamps[op_id] += 1
+
+    def dominates(self, other_timestamps: Mapping[str, int]) -> bool:
+        """True if ``other_timestamps`` dominates this store's vector.
+
+        Dominance (paper footnote 2): every entry >= ours and at least one
+        entry strictly greater.
+        """
+        strictly_greater = False
+        for op_id, ts in self.timestamps.items():
+            incoming = other_timestamps.get(op_id, 0)
+            if incoming < ts:
+                return False
+            if incoming > ts:
+                strictly_greater = True
+        return strictly_greater
+
+    def merge(
+        self,
+        incoming_timestamps: Mapping[str, int],
+        incoming_locations: Mapping[str, str],
+    ) -> bool:
+        """Apply the dominance-overwrite rule; True if we overwrote."""
+        if not self.dominates(incoming_timestamps):
+            return False
+        for op_id in self.timestamps:
+            if op_id in incoming_timestamps:
+                self.timestamps[op_id] = incoming_timestamps[op_id]
+                self.locations[op_id] = incoming_locations[op_id]
+        return True
+
+    def refresh_entry(self, op_id: str, host: str, timestamp: int) -> bool:
+        """Single-entry refresh from a message's sender identity."""
+        if op_id not in self.timestamps:
+            return False
+        if timestamp >= self.timestamps[op_id]:
+            newer = timestamp > self.timestamps[op_id]
+            moved = self.locations[op_id] != host
+            self.timestamps[op_id] = timestamp
+            self.locations[op_id] = host
+            return newer or moved
+        return False
+
+    def snapshot(self) -> tuple[dict[str, int], dict[str, str]]:
+        """Copies of (timestamps, locations) for piggybacking."""
+        return dict(self.timestamps), dict(self.locations)
+
+    def carry_from(self, other: "VectorStore") -> None:
+        """Entry-wise newest-wins merge (a migrating operator carries its
+        knowledge from the old host to the new one)."""
+        for op_id, ts in other.timestamps.items():
+            if op_id in self.timestamps and ts > self.timestamps[op_id]:
+                self.timestamps[op_id] = ts
+                self.locations[op_id] = other.locations[op_id]

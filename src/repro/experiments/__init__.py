@@ -1,0 +1,55 @@
+"""Experiment harness: configurations, runners and figure reproduction.
+
+The paper's evaluation (§4–§5) runs every placement algorithm over **300
+network configurations**, each produced by assigning Internet bandwidth
+traces uniformly at random to the links of a complete graph over the
+participating hosts.  This package reproduces that methodology:
+
+* :class:`~repro.experiments.config.ExperimentSetup` — the shared inputs
+  (trace library, workload parameters, master seed);
+* :func:`~repro.experiments.runner.run_configuration` — one simulation of
+  one algorithm on one configuration;
+* :mod:`~repro.experiments.figures` — one reproduction function per paper
+  figure (6 through 10) plus the §5 inter-arrival table, each returning a
+  structured result that the benchmark harness prints.
+"""
+
+from repro.experiments.config import ExperimentSetup, build_spec, make_configuration
+from repro.experiments.runner import (
+    AlgorithmSummary,
+    compare_algorithms,
+    run_configuration,
+    speedup_series,
+)
+from repro.experiments.figures import (
+    Fig6Result,
+    Fig7Result,
+    Fig8Result,
+    Fig9Result,
+    Fig10Result,
+    fig6_main_comparison,
+    fig7_extra_sites,
+    fig8_server_scaling,
+    fig9_relocation_period,
+    fig10_tree_shape,
+)
+
+__all__ = [
+    "AlgorithmSummary",
+    "ExperimentSetup",
+    "Fig10Result",
+    "Fig6Result",
+    "Fig7Result",
+    "Fig8Result",
+    "Fig9Result",
+    "build_spec",
+    "compare_algorithms",
+    "fig10_tree_shape",
+    "fig6_main_comparison",
+    "fig7_extra_sites",
+    "fig8_server_scaling",
+    "fig9_relocation_period",
+    "make_configuration",
+    "run_configuration",
+    "speedup_series",
+]

@@ -1,0 +1,107 @@
+"""Experiment configuration generation (paper §4).
+
+"We generated the network configurations by different assignments of the
+Internet bandwidth traces to the links in a complete graph of nine nodes
+(eight servers and one client).  The assignments were generated using a
+uniform random number generator."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from functools import lru_cache
+from typing import Optional
+
+import numpy as np
+
+from repro.engine.config import Algorithm, SimulationSpec
+from repro.traces.study import InternetStudy, TraceLibrary
+from repro.traces.trace import BandwidthTrace
+
+
+@lru_cache(maxsize=4)
+def _default_library(seed: int) -> TraceLibrary:
+    """The default (cached) synthetic Internet study."""
+    return InternetStudy(seed=seed).run()
+
+
+@dataclass(frozen=True)
+class ExperimentSetup:
+    """Shared inputs for a family of experiment configurations."""
+
+    num_servers: int = 8
+    tree_shape: str = "binary"
+    images_per_server: int = 180
+    #: Master seed: configuration ``i`` derives all its randomness from
+    #: ``(seed, i)``, so runs are reproducible and configurations are
+    #: identical across the algorithms being compared.
+    seed: int = 1998
+    #: Seed of the synthetic Internet study (the trace library).
+    study_seed: int = 1998
+    relocation_period: float = 600.0
+    local_extra_candidates: int = 0
+    library: Optional[TraceLibrary] = None
+
+    def trace_library(self) -> TraceLibrary:
+        """The trace library (the default study unless one was injected)."""
+        if self.library is not None:
+            return self.library
+        return _default_library(self.study_seed)
+
+    @property
+    def server_hosts(self) -> tuple[str, ...]:
+        return tuple(f"h{i}" for i in range(self.num_servers))
+
+    @property
+    def client_host(self) -> str:
+        return "client"
+
+
+def make_configuration(
+    setup: ExperimentSetup, config_index: int
+) -> dict[tuple[str, str], BandwidthTrace]:
+    """Network configuration ``config_index``: a trace for every link.
+
+    Traces are drawn uniformly at random (with replacement) from the
+    library and rebased to start at the path's local noon, exactly as in
+    the paper.  The draw depends only on ``(setup.seed, config_index)``.
+    """
+    if config_index < 0:
+        raise ValueError(f"negative config index {config_index!r}")
+    rng = np.random.default_rng((setup.seed, config_index))
+    library = setup.trace_library()
+    hosts = [*setup.server_hosts, setup.client_host]
+    links: dict[tuple[str, str], BandwidthTrace] = {}
+    for i, a in enumerate(hosts):
+        for b in hosts[i + 1 :]:
+            key = (a, b) if a < b else (b, a)
+            links[key] = library.sample_noon_segment(rng)
+    return links
+
+
+def build_spec(
+    setup: ExperimentSetup,
+    config_index: int,
+    algorithm: Algorithm,
+    **overrides,
+) -> SimulationSpec:
+    """A full :class:`SimulationSpec` for one (configuration, algorithm).
+
+    ``overrides`` are forwarded to the spec (e.g. ``relocation_period``,
+    ``prefetch``, ``barrier_priority``, ``local_extra_candidates``).
+    """
+    links = make_configuration(setup, config_index)
+    base = SimulationSpec(
+        algorithm=algorithm,
+        tree_shape=setup.tree_shape,
+        num_servers=setup.num_servers,
+        link_traces=links,
+        server_hosts=setup.server_hosts,
+        client_host=setup.client_host,
+        images_per_server=setup.images_per_server,
+        workload_seed=setup.seed + config_index,
+        relocation_period=setup.relocation_period,
+        local_extra_candidates=setup.local_extra_candidates,
+        control_seed=setup.seed + config_index,
+    )
+    return replace(base, **overrides) if overrides else base

@@ -1,0 +1,102 @@
+"""Persisting experiment results (JSON and CSV).
+
+Sweeps over hundreds of configurations are expensive; these helpers
+archive per-run metrics so analyses can be re-done without re-simulating.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable, Sequence, Union
+
+from repro.engine.metrics import RelocationEvent, RunMetrics
+
+PathLike = Union[str, Path]
+
+
+def metrics_to_dict(metrics: RunMetrics, include_arrivals: bool = True) -> dict:
+    """JSON-serializable form of one run's metrics."""
+    payload = metrics.summary()
+    if include_arrivals:
+        payload["arrival_times"] = list(metrics.arrival_times)
+    payload["relocation_events"] = [
+        {
+            "time": event.time,
+            "actor": event.actor,
+            "old_host": event.old_host,
+            "new_host": event.new_host,
+        }
+        for event in metrics.relocation_events
+    ]
+    return payload
+
+
+def metrics_from_dict(payload: dict) -> RunMetrics:
+    """Rebuild :class:`RunMetrics` from :func:`metrics_to_dict` output."""
+    metrics = RunMetrics(
+        algorithm=payload["algorithm"],
+        num_servers=payload["num_servers"],
+        images=payload["images"],
+        arrival_times=list(payload.get("arrival_times", [])),
+        relocations=payload["relocations"],
+        planner_runs=payload["planner_runs"],
+        placements_installed=payload["placements_installed"],
+        barrier_rounds=payload["barrier_rounds"],
+        barrier_stall_seconds=payload["barrier_stall_seconds"],
+        probes_sent=payload["probes_sent"],
+        probe_bytes=payload["probe_bytes"],
+        forwarded_messages=payload["forwarded_messages"],
+        bytes_on_wire=payload["bytes_on_wire"],
+        truncated=payload["truncated"],
+    )
+    for event in payload.get("relocation_events", []):
+        metrics.relocation_events.append(
+            RelocationEvent(
+                event["time"], event["actor"], event["old_host"], event["new_host"]
+            )
+        )
+    return metrics
+
+
+def save_runs_json(runs: Iterable[RunMetrics], path: PathLike) -> None:
+    """Archive a collection of runs as a JSON list."""
+    payload = [metrics_to_dict(metrics) for metrics in runs]
+    Path(path).write_text(json.dumps(payload, indent=2))
+
+
+def load_runs_json(path: PathLike) -> list[RunMetrics]:
+    """Load runs archived by :func:`save_runs_json`."""
+    payload = json.loads(Path(path).read_text())
+    return [metrics_from_dict(entry) for entry in payload]
+
+
+#: Columns of the flat CSV export (one row per run).
+CSV_FIELDS = (
+    "algorithm",
+    "num_servers",
+    "images",
+    "completion_time",
+    "mean_interarrival",
+    "relocations",
+    "planner_runs",
+    "placements_installed",
+    "barrier_rounds",
+    "barrier_stall_seconds",
+    "probes_sent",
+    "probe_bytes",
+    "forwarded_messages",
+    "bytes_on_wire",
+    "truncated",
+)
+
+
+def save_runs_csv(runs: Sequence[RunMetrics], path: PathLike) -> None:
+    """One row per run; columns are :data:`CSV_FIELDS`."""
+    with open(path, "w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=CSV_FIELDS)
+        writer.writeheader()
+        for metrics in runs:
+            summary = metrics.summary()
+            writer.writerow({key: summary[key] for key in CSV_FIELDS})

@@ -1,0 +1,86 @@
+"""Runners: simulate algorithms over batches of configurations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.engine.config import Algorithm
+from repro.engine.metrics import RunMetrics
+from repro.engine.simulation import run_simulation
+from repro.experiments.config import ExperimentSetup, build_spec
+
+
+def run_configuration(
+    setup: ExperimentSetup,
+    config_index: int,
+    algorithm: Algorithm,
+    **overrides,
+) -> RunMetrics:
+    """Simulate one algorithm on one network configuration."""
+    spec = build_spec(setup, config_index, algorithm, **overrides)
+    return run_simulation(spec)
+
+
+@dataclass
+class AlgorithmSummary:
+    """Aggregated results of one algorithm over many configurations."""
+
+    algorithm: str
+    completion_times: list[float] = field(default_factory=list)
+    interarrivals: list[float] = field(default_factory=list)
+    relocations: list[int] = field(default_factory=list)
+
+    def add(self, metrics: RunMetrics) -> None:
+        self.completion_times.append(metrics.completion_time)
+        self.interarrivals.append(metrics.mean_interarrival)
+        self.relocations.append(metrics.relocations)
+
+    @property
+    def mean_interarrival(self) -> float:
+        """Mean of per-configuration mean inter-arrival times (§5 table)."""
+        return float(np.mean(self.interarrivals))
+
+    @property
+    def mean_completion(self) -> float:
+        return float(np.mean(self.completion_times))
+
+
+def compare_algorithms(
+    setup: ExperimentSetup,
+    algorithms: Sequence[Algorithm],
+    n_configs: int,
+    progress: Optional[callable] = None,
+    **overrides,
+) -> dict[str, AlgorithmSummary]:
+    """Run all ``algorithms`` on configurations ``0..n_configs-1``.
+
+    Every algorithm sees the *same* configurations (same seeds), matching
+    the paper's paired comparison.
+    """
+    summaries = {a.value: AlgorithmSummary(a.value) for a in algorithms}
+    for index in range(n_configs):
+        for algorithm in algorithms:
+            metrics = run_configuration(setup, index, algorithm, **overrides)
+            summaries[algorithm.value].add(metrics)
+            if progress is not None:
+                progress(index, algorithm, metrics)
+    return summaries
+
+
+def speedup_series(
+    target: AlgorithmSummary, baseline: AlgorithmSummary
+) -> np.ndarray:
+    """Per-configuration speedups of ``target`` over ``baseline``.
+
+    This is the paper's headline metric: "the performance of an algorithm
+    on a particular configuration is measured as the speedup it achieves
+    over the download-all strategy" (Figure 6).
+    """
+    if len(target.completion_times) != len(baseline.completion_times):
+        raise ValueError("summaries cover different numbers of configurations")
+    return np.asarray(baseline.completion_times) / np.asarray(
+        target.completion_times
+    )

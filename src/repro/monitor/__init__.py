@@ -1,0 +1,35 @@
+"""Bandwidth monitoring (paper §3 and §4).
+
+The paper models an on-demand, user-level monitoring scheme (in the spirit
+of Komodo / the Network Weather Service):
+
+1. **Passive monitoring** — any message of at least ``S_thres`` (16 KB)
+   bytes yields a bandwidth measurement known to *both* endpoints.
+2. **Measurement cache** — each host caches measurements; entries time out
+   after ``T_thres`` seconds (40 s in the main experiments, chosen from
+   the ~2 min expected interval between >=10 % bandwidth changes).
+3. **Piggybacking** — the most recent measurements that fit within 1 KB
+   ride along on every outgoing message and are merged into the
+   receiver's cache.
+4. **Active probing** — a host can measure any pair on demand by asking
+   the pair to exchange a probe message (16 KB, so passive monitoring
+   records it); the placement algorithms use this to fill gaps before
+   planning.
+
+:class:`~repro.monitor.system.MonitoringSystem` wires all of this onto a
+:class:`~repro.net.Network`.
+"""
+
+from repro.monitor.cache import BandwidthCache, CacheEntry
+from repro.monitor.piggyback import PIGGYBACK_BUDGET_BYTES, decode_piggyback, encode_piggyback
+from repro.monitor.system import MonitoringConfig, MonitoringSystem
+
+__all__ = [
+    "BandwidthCache",
+    "CacheEntry",
+    "MonitoringConfig",
+    "MonitoringSystem",
+    "PIGGYBACK_BUDGET_BYTES",
+    "decode_piggyback",
+    "encode_piggyback",
+]

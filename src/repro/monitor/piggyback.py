@@ -1,0 +1,48 @@
+"""Piggybacking recent bandwidth measurements on outgoing messages.
+
+Paper §4: "when a message is sent between two nodes, the most recent
+bandwidth values (those that fit within 1KB) are piggybacked onto the
+message".  Each serialised entry carries a host pair, a bandwidth and a
+timestamp; we charge 24 bytes per entry (two 2-byte host indices hardly
+matter — we round up to named pairs), so 1 KB carries up to 42 entries.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.monitor.cache import BandwidthCache, CacheEntry
+
+#: The paper's piggyback budget.
+PIGGYBACK_BUDGET_BYTES = 1024
+#: Serialized size of one measurement entry (pair ids + float + timestamp).
+ENTRY_BYTES = 24
+
+
+def encode_piggyback(
+    cache: BandwidthCache, budget: int = PIGGYBACK_BUDGET_BYTES
+) -> Optional[dict]:
+    """Select the freshest cache entries that fit in ``budget`` bytes.
+
+    Returns ``None`` when the cache is empty (no piggyback overhead is
+    charged in that case), otherwise a dict with ``bytes`` (wire overhead)
+    and ``entries``.
+    """
+    if budget < ENTRY_BYTES:
+        return None
+    limit = budget // ENTRY_BYTES
+    entries = cache.freshest(limit)
+    if not entries:
+        return None
+    return {"bytes": len(entries) * ENTRY_BYTES, "entries": list(entries)}
+
+
+def decode_piggyback(cache: BandwidthCache, piggyback: dict) -> int:
+    """Merge piggybacked entries into ``cache``; returns how many were new."""
+    merged = 0
+    for entry in piggyback.get("entries", ()):
+        if not isinstance(entry, CacheEntry):
+            raise TypeError(f"piggyback entry {entry!r} is not a CacheEntry")
+        if cache.merge_entry(entry):
+            merged += 1
+    return merged

@@ -1,0 +1,43 @@
+"""Wide-area network substrate.
+
+Models the paper's simulated network (§4):
+
+* :class:`~repro.net.host.Host` — a site with a **single network
+  interface** (it can send or receive at most one message at a time), a
+  disk (3 MB/s in the experiments), a CPU, and per-actor message
+  mailboxes with priority delivery.
+* :class:`~repro.net.link.Link` — a host pair whose bandwidth follows a
+  :class:`~repro.traces.BandwidthTrace`; every transfer pays a fixed
+  **startup cost** (50 ms in the experiments) and then *integrates* the
+  trace, so mid-transfer bandwidth changes take effect.
+* :class:`~repro.net.network.Network` — the complete graph connecting the
+  hosts, the transfer engine (deadlock-free two-NIC acquisition with
+  message priorities, so barrier messages overtake queued bulk data), and
+  the observer hook that feeds passive bandwidth monitoring.
+"""
+
+from repro.net.message import (
+    PRIORITY_BARRIER,
+    PRIORITY_CONTROL,
+    PRIORITY_DATA,
+    PRIORITY_DEMAND,
+    Message,
+    MessageKind,
+)
+from repro.net.host import Host, Mailbox
+from repro.net.link import Link
+from repro.net.network import Network, TransferObservation
+
+__all__ = [
+    "Host",
+    "Link",
+    "Mailbox",
+    "Message",
+    "MessageKind",
+    "Network",
+    "PRIORITY_BARRIER",
+    "PRIORITY_CONTROL",
+    "PRIORITY_DATA",
+    "PRIORITY_DEMAND",
+    "TransferObservation",
+]

@@ -1,0 +1,132 @@
+"""Hosts: single-NIC sites with disk, CPU and per-actor mailboxes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.net.message import Message
+from repro.sim import Environment, Resource
+from repro.sim.stores import PriorityItem, PriorityStore
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.stores import StoreGet
+
+
+@dataclass
+class HostStats:
+    """Per-host traffic accounting."""
+
+    messages_sent: int = 0
+    messages_received: int = 0
+    bytes_sent: float = 0.0
+    bytes_received: float = 0.0
+    #: Seconds the NIC spent occupied by transfers.
+    nic_busy_time: float = 0.0
+
+
+class _MessageStore(PriorityStore):
+    """A priority store that hands back the bare message, not the wrapper."""
+
+    def _take_item(self, event):
+        entry = super()._take_item(event)
+        return entry.item if isinstance(entry, PriorityItem) else entry
+
+
+class Mailbox:
+    """Priority-ordered queue of delivered messages for one actor."""
+
+    def __init__(self, env: Environment) -> None:
+        self._store = _MessageStore(env)
+        self.env = env
+
+    def deliver(self, message: Message) -> None:
+        """Enqueue a delivered message (priority-ordered, FIFO in class)."""
+        self._store.put(PriorityItem(int(message.priority or 0), message))
+
+    def get(self) -> "StoreGet":
+        """Event whose value is the next message (in priority order)."""
+        return self._store.get()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def drain(self) -> list[Message]:
+        """Remove and return all queued messages (used when an actor moves)."""
+        return [entry.item for entry in self._store.clear()]
+
+
+class Host:
+    """A participating site.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    name:
+        Unique host name.
+    disk_rate:
+        Sequential disk read bandwidth, bytes/second (paper: 3 MB/s).
+    nic_capacity:
+        Concurrent transfers the host's network attachment sustains
+        (paper assumption 2: one).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        disk_rate: float = 3 * 1024 * 1024,
+        nic_capacity: int = 1,
+    ) -> None:
+        if disk_rate <= 0:
+            raise ValueError(f"disk_rate must be positive, got {disk_rate!r}")
+        if nic_capacity < 1:
+            raise ValueError(f"nic_capacity must be >= 1, got {nic_capacity!r}")
+        self.env = env
+        self.name = name
+        #: Concurrent transfers this host can sustain (paper assumption 2
+        #: fixes this at one; the paper notes the assumption "can be
+        #: relaxed", which this knob does).
+        self.nic_capacity = nic_capacity
+        #: Sequential-access disk.
+        self.disk = Resource(env, capacity=1)
+        #: Processor used for combination operations.
+        self.cpu = Resource(env, capacity=1)
+        self.disk_rate = disk_rate
+        self.stats = HostStats()
+        self._mailboxes: dict[str, Mailbox] = {}
+
+    # -- mailboxes ------------------------------------------------------------
+    def mailbox(self, actor: str) -> Mailbox:
+        """The mailbox for ``actor``, created on first use."""
+        box = self._mailboxes.get(actor)
+        if box is None:
+            box = Mailbox(self.env)
+            self._mailboxes[actor] = box
+        return box
+
+    def remove_mailbox(self, actor: str) -> list[Message]:
+        """Detach an actor's mailbox, returning any undelivered messages."""
+        box = self._mailboxes.pop(actor, None)
+        return box.drain() if box is not None else []
+
+    # -- local facilities -------------------------------------------------------
+    def disk_read(self, nbytes: float):
+        """Process generator: read ``nbytes`` from the local disk."""
+        if nbytes < 0:
+            raise ValueError(f"negative read size {nbytes!r}")
+        with self.disk.request() as req:
+            yield req
+            yield self.env.timeout(nbytes / self.disk_rate)
+
+    def compute(self, seconds: float):
+        """Process generator: occupy the CPU for ``seconds``."""
+        if seconds < 0:
+            raise ValueError(f"negative compute time {seconds!r}")
+        with self.cpu.request() as req:
+            yield req
+            yield self.env.timeout(seconds)
+
+    def __repr__(self) -> str:
+        return f"<Host {self.name!r}>"

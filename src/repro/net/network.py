@@ -1,0 +1,278 @@
+"""The network: hosts, links, actor registry and the transfer engine.
+
+Transfer semantics (paper §4):
+
+* every transfer pays a 50 ms startup cost and then drains bytes at the
+  link trace's (time-varying) rate;
+* both endpoints' single NICs are held for the whole transfer — this is
+  what produces **end-point congestion** when several producers feed one
+  consumer;
+* NIC queueing is by message priority, so barrier/control messages
+  overtake queued bulk data;
+* the two NICs are acquired in canonical (sorted-name) order, which makes
+  the two-resource acquisition deadlock-free while preserving the
+  single-interface constraint.
+
+The network also keeps the **actor registry** — the ground-truth location
+of every data-flow actor.  Senders address actors at the host they believe
+the actor lives on; if the actor has moved (possible with the local
+algorithm's eventually-consistent location vectors), the message is
+forwarded, paying for the extra hop, as a mobile-object runtime would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from heapq import heappop, heappush
+from typing import Callable, Iterable, Optional
+
+from repro.net.host import Host
+from repro.net.link import Link
+from repro.net.message import Message, MessageKind
+from repro.sim import Environment, Event
+
+
+@dataclass(frozen=True)
+class TransferObservation:
+    """What a completed wire transfer looked like (fed to monitors)."""
+
+    src_host: str
+    dst_host: str
+    #: Bytes moved on the wire (payload + headers + piggyback).
+    wire_bytes: float
+    #: Seconds the bytes took *excluding* the startup cost.
+    data_seconds: float
+    started: float
+    finished: float
+    kind: MessageKind
+
+    @property
+    def measured_bandwidth(self) -> float:
+        """Observed application-level bandwidth, bytes/second."""
+        if self.data_seconds <= 0:
+            return float("inf")
+        return self.wire_bytes / self.data_seconds
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate traffic statistics."""
+
+    transfers: int = 0
+    local_deliveries: int = 0
+    forwarded: int = 0
+    bytes_on_wire: float = 0.0
+
+
+class Network:
+    """A complete graph of hosts with trace-driven links."""
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self.hosts: dict[str, Host] = {}
+        self._links: dict[tuple[str, str], Link] = {}
+        self._actor_hosts: dict[str, str] = {}
+        self.stats = NetworkStats()
+        #: Transfer arbiter state: waiting transfers (priority heap),
+        #: per-host active-transfer counts, and a FIFO tie-breaker.
+        self._waiting: list[tuple] = []
+        self._active_transfers: dict[str, int] = {}
+        self._sequence = 0
+        #: Monitoring hook: called with each TransferObservation.
+        self.observers: list[Callable[[TransferObservation], None]] = []
+        #: Optional piggyback source: ``(src_host, dst_host) -> dict`` with
+        #: at least a ``"bytes"`` entry; attached to outgoing messages.
+        self.piggyback_source: Optional[Callable[[str, str], Optional[dict]]] = None
+        #: Optional piggyback sink: ``(dst_host, piggyback_dict) -> None``.
+        self.piggyback_sink: Optional[Callable[[str, dict], None]] = None
+
+    # -- topology ---------------------------------------------------------
+    def add_host(self, host: Host) -> Host:
+        """Register a host (names must be unique)."""
+        if host.name in self.hosts:
+            raise ValueError(f"duplicate host {host.name!r}")
+        self.hosts[host.name] = host
+        self._active_transfers[host.name] = 0
+        return host
+
+    def _has_free_interface(self, host: str) -> bool:
+        return self._active_transfers[host] < self.hosts[host].nic_capacity
+
+    def add_link(self, link: Link) -> Link:
+        """Register the link between two existing hosts."""
+        for endpoint in link.key:
+            if endpoint not in self.hosts:
+                raise ValueError(f"link endpoint {endpoint!r} is not a host")
+        if link.key in self._links:
+            raise ValueError(f"duplicate link {link.key!r}")
+        self._links[link.key] = link
+        return link
+
+    def link(self, a: str, b: str) -> Link:
+        """The link between hosts ``a`` and ``b``."""
+        key = (a, b) if a < b else (b, a)
+        try:
+            return self._links[key]
+        except KeyError:
+            raise KeyError(f"no link between {a!r} and {b!r}") from None
+
+    def links(self) -> Iterable[Link]:
+        """All links, in canonical key order."""
+        return [self._links[key] for key in sorted(self._links)]
+
+    def bandwidth_at(self, a: str, b: str, t: float) -> float:
+        """True instantaneous bandwidth between two hosts (oracle access)."""
+        if a == b:
+            return float("inf")
+        return self.link(a, b).bandwidth_at(t)
+
+    def mean_bandwidth(self, a: str, b: str, t0: float, t1: float) -> float:
+        """True time-averaged bandwidth over ``[t0, t1]`` (oracle access)."""
+        if a == b:
+            return float("inf")
+        return self.link(a, b).trace.mean_rate(t0, t1)
+
+    # -- actor registry ------------------------------------------------------
+    def register_actor(self, actor: str, host: str) -> None:
+        """Declare that ``actor`` (a tree-node process) lives on ``host``."""
+        if host not in self.hosts:
+            raise ValueError(f"unknown host {host!r}")
+        self._actor_hosts[actor] = host
+
+    def actor_host(self, actor: str) -> str:
+        """Ground-truth current host of ``actor``."""
+        try:
+            return self._actor_hosts[actor]
+        except KeyError:
+            raise KeyError(f"actor {actor!r} is not registered") from None
+
+    def move_actor(self, actor: str, new_host: str) -> list[Message]:
+        """Atomically re-home ``actor``; returns messages left at the old host.
+
+        The caller (the engine's relocation machinery) is responsible for
+        re-delivering the returned messages at the new location.
+        """
+        old_host = self.actor_host(actor)
+        if new_host not in self.hosts:
+            raise ValueError(f"unknown host {new_host!r}")
+        self._actor_hosts[actor] = new_host
+        if old_host == new_host:
+            return []
+        return self.hosts[old_host].remove_mailbox(actor)
+
+    # -- transfers -------------------------------------------------------------
+    def send(
+        self,
+        message: Message,
+        src_host: Optional[str] = None,
+        dst_host: Optional[str] = None,
+    ) -> "Event":
+        """Start transmitting ``message``; the returned event fires on delivery.
+
+        ``src_host`` / ``dst_host`` default to the registry locations of
+        the source / destination actors.  If the destination actor has
+        moved by the time the message arrives, it is forwarded (charged as
+        an additional transfer).
+
+        Transfers are scheduled by a central arbiter: a transfer starts as
+        soon as **both** endpoints' network interfaces are free, and when
+        an interface frees up the waiting transfers are scanned in
+        (priority, arrival) order.  This realizes the paper's single-NIC
+        assumption with priority queueing (barrier messages overtake
+        enqueued data) and is trivially deadlock-free — a transfer never
+        holds one interface while waiting for the other.
+        """
+        src = src_host or self.actor_host(message.src_actor)
+        dst = dst_host or self.actor_host(message.dst_actor)
+        if src not in self.hosts or dst not in self.hosts:
+            raise ValueError(f"unknown endpoint in {src!r}->{dst!r}")
+        message.src_host, message.dst_host = src, dst
+        message.sent_at = self.env.now
+        done = self.env.event()
+
+        if src == dst:
+            self.stats.local_deliveries += 1
+            message.delivered_at = self.env.now
+            self._deliver(message, dst)
+            done.succeed(message)
+            return done
+
+        if self.piggyback_source is not None and message.piggyback is None:
+            message.piggyback = self.piggyback_source(src, dst)
+
+        self._sequence += 1
+        heappush(
+            self._waiting,
+            (int(message.priority or 0), self._sequence, message, src, dst, done),
+        )
+        self._dispatch_transfers()
+        return done
+
+    def _dispatch_transfers(self) -> None:
+        """Start every waiting transfer whose two endpoints are free."""
+        if not self._waiting:
+            return
+        blocked: list[tuple] = []
+        while self._waiting:
+            entry = heappop(self._waiting)
+            __, __, message, src, dst, done = entry
+            if not (self._has_free_interface(src) and self._has_free_interface(dst)):
+                blocked.append(entry)
+                continue
+            self._active_transfers[src] += 1
+            self._active_transfers[dst] += 1
+            self.env.process(
+                self._run_transfer(message, src, dst, done),
+                name=f"xfer#{message.uid}",
+            )
+        for entry in blocked:
+            heappush(self._waiting, entry)
+
+    def _run_transfer(self, message: Message, src: str, dst: str, done):
+        link = self.link(src, dst)
+        src_node, dst_node = self.hosts[src], self.hosts[dst]
+        started = self.env.now
+        duration = link.transmission_time(message.wire_size, started)
+        yield self.env.timeout(duration)
+        finished = self.env.now
+
+        self._active_transfers[src] -= 1
+        self._active_transfers[dst] -= 1
+
+        src_node.stats.messages_sent += 1
+        src_node.stats.bytes_sent += message.wire_size
+        src_node.stats.nic_busy_time += duration
+        dst_node.stats.messages_received += 1
+        dst_node.stats.bytes_received += message.wire_size
+        dst_node.stats.nic_busy_time += duration
+        self.stats.transfers += 1
+        self.stats.bytes_on_wire += message.wire_size
+
+        observation = TransferObservation(
+            src_host=src,
+            dst_host=dst,
+            wire_bytes=message.wire_size,
+            data_seconds=duration - link.startup_cost,
+            started=started,
+            finished=finished,
+            kind=message.kind,
+        )
+        for observer in self.observers:
+            observer(observation)
+        if self.piggyback_sink is not None and message.piggyback is not None:
+            self.piggyback_sink(dst, message.piggyback)
+
+        message.delivered_at = self.env.now
+        self._deliver(message, dst)
+        done.succeed(message)
+        self._dispatch_transfers()
+
+    def _deliver(self, message: Message, arrived_at: str) -> None:
+        actual = self._actor_hosts.get(message.dst_actor, arrived_at)
+        if actual != arrived_at:
+            # The destination actor moved while the message was in flight:
+            # forward it (mobile-object runtimes do exactly this).
+            self.stats.forwarded += 1
+            self.send(message, src_host=arrived_at, dst_host=actual)
+            return
+        self.hosts[arrived_at].mailbox(message.dst_actor).deliver(message)

@@ -1,0 +1,38 @@
+"""The paper's placement algorithms (§2).
+
+Four policies:
+
+* :func:`~repro.placement.download_all.download_all_placement` — every
+  operator at the client; the paper's base case ("currently the dominant
+  mode of combining data over wide-area networks").
+* :class:`~repro.placement.one_shot.OneShotPlanner` — iterative critical-
+  path shortening from the download-all start, run once at t=0 (§2.1).
+* :class:`~repro.placement.global_planner.GlobalPlanner` — the one-shot
+  procedure warm-started from the *current* placement; used periodically
+  by the centralized on-line algorithm (§2.2).  The run-time barrier
+  coordination lives in :mod:`repro.engine`.
+* :mod:`~repro.placement.local_rules` — the pure decision rules of the
+  distributed local algorithm (§2.3): critical-path self-detection from
+  "later" marks and local-critical-path site selection.  The epoch
+  wavefront and vector propagation live in :mod:`repro.engine`.
+"""
+
+from repro.placement.base import PlanResult
+from repro.placement.download_all import download_all_placement
+from repro.placement.one_shot import OneShotPlanner
+from repro.placement.global_planner import GlobalPlanner
+from repro.placement.local_rules import (
+    LocalSiteDecision,
+    choose_local_site,
+    is_on_critical_path,
+)
+
+__all__ = [
+    "GlobalPlanner",
+    "LocalSiteDecision",
+    "OneShotPlanner",
+    "PlanResult",
+    "choose_local_site",
+    "download_all_placement",
+    "is_on_critical_path",
+]

@@ -1,0 +1,22 @@
+"""Shared plumbing for the placement planners."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dataflow.placement import Placement
+
+
+@dataclass(frozen=True)
+class PlanResult:
+    """Outcome of one planning run."""
+
+    placement: Placement
+    #: Critical-path cost of the returned placement (model seconds/partition).
+    cost: float
+    #: Number of improvement rounds the iterative search performed.
+    rounds: int
+    #: Single-move candidates evaluated in total.
+    candidates_evaluated: int
+    #: Distinct host pairs whose bandwidth the search consulted.
+    links_queried: frozenset[tuple[str, str]] = field(default_factory=frozenset)

@@ -1,0 +1,17 @@
+"""The download-all base case: all operators at the client."""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.dataflow.placement import Placement
+from repro.dataflow.tree import CombinationTree
+
+
+def download_all_placement(
+    tree: CombinationTree,
+    server_hosts: Mapping[str, str],
+    client_host: str,
+) -> Placement:
+    """Every operator at the client (the paper's Figure 1 / base case)."""
+    return Placement.all_at_client(tree, server_hosts, client_host)

@@ -1,0 +1,51 @@
+"""The global on-line planner (§2.2).
+
+"This algorithm uses the one-shot algorithm as a procedure to compute new
+placements; the only modification is in the initialization step where the
+*current placement* is used as the initial placement."  The client runs it
+periodically; the engine's barrier protocol installs the results.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.dataflow.cost import BandwidthEstimator, CostModel
+from repro.dataflow.placement import Placement
+from repro.dataflow.tree import CombinationTree
+from repro.placement.base import PlanResult
+from repro.placement.one_shot import OneShotPlanner
+
+
+class GlobalPlanner:
+    """Periodic re-planning warm-started from the running placement."""
+
+    def __init__(
+        self,
+        tree: CombinationTree,
+        hosts: Sequence[str],
+        cost_model: CostModel,
+        max_rounds: int = 200,
+        server_replicas: "dict[str, tuple[str, ...]] | None" = None,
+    ) -> None:
+        self._one_shot = OneShotPlanner(
+            tree, hosts, cost_model, max_rounds, server_replicas
+        )
+
+    @property
+    def tree(self) -> CombinationTree:
+        return self._one_shot.tree
+
+    @property
+    def hosts(self) -> list[str]:
+        return list(self._one_shot.hosts)
+
+    @property
+    def cost_model(self) -> CostModel:
+        return self._one_shot.cost_model
+
+    def plan(
+        self, estimator: BandwidthEstimator, current: Placement
+    ) -> PlanResult:
+        """One re-planning round from the *current* placement."""
+        return self._one_shot.plan(estimator, initial=current)

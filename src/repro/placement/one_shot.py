@@ -1,0 +1,156 @@
+"""The one-shot placement algorithm (§2.1).
+
+The algorithm iteratively shortens the critical path.  Each round it
+examines every operator on the current critical path, prices every
+single-operator relocation, and keeps the cheapest; the round's best
+variation is adopted if it strictly improves the placement, and the
+process repeats until no strict improvement is found.
+
+The search is exactly the paper's pseudocode:
+
+.. code-block:: none
+
+    Initialization: all operators placed at the client.
+    Iterative step:
+      C' <- C; N' <- current placement N; K <- critical path of N
+      for each operator in K:
+        consider all alternative locations for the operator
+        let C_min be the cost of the cheapest alternative placement
+        if (C_min <= C'): C' <- C_min; N' <- cheapest placement
+      if (C' < C): N <- N'; C <- C'   (and iterate again)
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.dataflow.cost import BandwidthEstimator, CostModel, RecordingEstimator
+from repro.dataflow.critical import SingleMoveEvaluator, critical_path
+from repro.dataflow.placement import Placement
+from repro.dataflow.tree import CombinationTree
+from repro.placement.base import PlanResult
+
+
+class OneShotPlanner:
+    """Iterative critical-path-shortening search.
+
+    Parameters
+    ----------
+    tree:
+        The combination tree.
+    hosts:
+        All hosts that may run operators (servers' hosts plus the client's;
+        the paper's assumption 1 is that servers can host computation).
+    cost_model:
+        Analytic cost model pricing placements.
+    max_rounds:
+        Safety bound on improvement rounds (the search provably terminates
+        because each round strictly decreases the cost, but float quirks
+        deserve a belt as well as braces).
+    server_replicas:
+        Optional ``{server node id: candidate hosts}``: servers whose
+        dataset is replicated may be *served* from any replica, so the
+        search treats them as movable among those hosts (the paper's
+        assumption 3 relaxed).
+    """
+
+    def __init__(
+        self,
+        tree: CombinationTree,
+        hosts: Sequence[str],
+        cost_model: CostModel,
+        max_rounds: int = 200,
+        server_replicas: "Optional[dict[str, tuple[str, ...]]]" = None,
+    ) -> None:
+        if not hosts:
+            raise ValueError("need at least one candidate host")
+        if max_rounds <= 0:
+            raise ValueError(f"max_rounds must be positive, got {max_rounds!r}")
+        self.tree = tree
+        self.hosts = sorted(set(hosts))
+        self.cost_model = cost_model
+        self.max_rounds = max_rounds
+        self.server_replicas = {
+            server: tuple(replicas)
+            for server, replicas in (server_replicas or {}).items()
+            if len(replicas) > 1
+        }
+        for server in self.server_replicas:
+            if server not in tree or not tree.node(server).is_server:
+                raise ValueError(f"{server!r} is not a server of this tree")
+
+    def plan(
+        self,
+        estimator: BandwidthEstimator,
+        initial: Placement,
+    ) -> PlanResult:
+        """Run the search from ``initial`` using ``estimator`` for bandwidths."""
+        recorder = RecordingEstimator(estimator)
+        current = initial
+        current_cost = critical_path(
+            self.tree, current, self.cost_model, recorder
+        ).cost
+        rounds = 0
+        candidates = 0
+
+        for _ in range(self.max_rounds):
+            rounds += 1
+            path = critical_path(self.tree, current, self.cost_model, recorder)
+            evaluator = SingleMoveEvaluator(
+                self.tree, current, self.cost_model, recorder
+            )
+            best_move: "tuple[str, str] | None" = None
+            best_cost = current_cost
+            for node_id, candidate_hosts in self._candidate_moves(path, current):
+                current_host = current.host_of(node_id)
+                for host in candidate_hosts:
+                    if host == current_host:
+                        continue
+                    candidates += 1
+                    cost = evaluator.cost_of_move(node_id, host)
+                    # Paper: "if (C_min <= C')" — ties move toward the
+                    # newer candidate, strict improvement gates adoption.
+                    if cost <= best_cost:
+                        best_cost = cost
+                        best_move = (node_id, host)
+            if best_cost < current_cost and best_move is not None:
+                current = current.with_move(*best_move)
+                current_cost = best_cost
+            else:
+                break
+
+        return PlanResult(
+            placement=current,
+            cost=current_cost,
+            rounds=rounds,
+            candidates_evaluated=candidates,
+            links_queried=frozenset(recorder.queried),
+        )
+
+    def _candidate_moves(
+        self, path, placement: Placement
+    ) -> list[tuple[str, tuple[str, ...]]]:
+        """Nodes whose relocation can shorten the critical path.
+
+        These are the operators *on* the path plus every operator placed
+        on a host the path visits: under the single-NIC serialization
+        model a path's cost includes its hosts' full occupancy, so
+        shedding an off-path operator from a visited host shortens the
+        path too.  (With download-all's initialization the critical path
+        visits the client, so all operators start as candidates — which
+        is how the search escapes the all-at-client congestion.)
+
+        Operators may go to any host; replicated servers may switch to
+        any of their replica hosts.
+        """
+        path_hosts = {placement.host_of(node_id) for node_id in path.nodes}
+        candidates = set(path.operators)
+        for op in self.tree.operators():
+            if placement.host_of(op.node_id) in path_hosts:
+                candidates.add(op.node_id)
+        all_hosts = tuple(self.hosts)
+        moves = [(node_id, all_hosts) for node_id in sorted(candidates)]
+        for server, replicas in sorted(self.server_replicas.items()):
+            if server in path.nodes or placement.host_of(server) in path_hosts:
+                moves.append((server, replicas))
+        return moves

@@ -1,0 +1,274 @@
+"""Simulation environment and process machinery.
+
+The :class:`Environment` owns the clock and the event calendar (a binary
+heap keyed by ``(time, priority, sequence)`` — the sequence number makes the
+simulation fully deterministic).  A :class:`Process` wraps a generator that
+yields :class:`~repro.sim.events.Event` objects.
+"""
+
+from __future__ import annotations
+
+import typing
+from heapq import heappop, heappush
+from typing import Any, Generator, Optional
+
+from repro.sim.errors import EventFailed, Interrupt, SimulationError, StopSimulation
+from repro.sim.events import NORMAL, PENDING, URGENT, AllOf, AnyOf, Event, Timeout
+
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class Environment:
+    """A discrete-event simulation environment.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of the simulation clock (seconds).
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._eid = 0
+        self._active_process: Optional["Process"] = None
+
+    # -- clock & calendar ---------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional["Process"]:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    def schedule(
+        self, event: Event, priority: int = NORMAL, delay: float = 0.0
+    ) -> None:
+        """Put ``event`` on the calendar ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        heappush(self._queue, (self._now + delay, priority, self._eid, event))
+        self._eid += 1
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next event on the calendar."""
+        try:
+            self._now, _, _, event = heappop(self._queue)
+        except IndexError:
+            raise SimulationError("no scheduled events") from None
+
+        callbacks, event.callbacks = event.callbacks, None
+        assert callbacks is not None, "event processed twice"
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event.defused:
+            exc = typing.cast(BaseException, event._value)
+            raise EventFailed(f"unhandled failure in {event!r}: {exc!r}") from exc
+
+    def run(self, until: "float | Event | None" = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be:
+
+        * ``None`` — run until the calendar is empty;
+        * a number — run until the clock reaches that time;
+        * an :class:`Event` — run until that event is processed and return
+          its value.
+        """
+        stop_event: Optional[Event] = None
+        if until is not None:
+            if isinstance(until, Event):
+                stop_event = until
+                if stop_event.callbacks is None:
+                    # Already processed; nothing to run.
+                    if stop_event._ok:
+                        return stop_event._value
+                    raise typing.cast(BaseException, stop_event._value)
+                stop_event.callbacks.append(self._stop_callback)
+            else:
+                at = float(until)
+                if at < self._now:
+                    raise ValueError(
+                        f"until={at} lies in the past (now={self._now})"
+                    )
+                stop_event = Event(self)
+                stop_event._ok = True
+                stop_event._value = None
+                # URGENT so the clock stops before same-time NORMAL events.
+                self.schedule(stop_event, priority=URGENT, delay=at - self._now)
+                stop_event.callbacks.append(self._stop_callback)
+
+        try:
+            while self._queue:
+                self.step()
+        except StopSimulation as stop:
+            return stop.value
+
+        if stop_event is not None and isinstance(until, Event):
+            raise SimulationError(
+                "simulation ran out of events before the awaited event fired"
+            )
+        return None
+
+    def stop(self, value: Any = None) -> None:
+        """Abort :meth:`run` immediately from inside a callback/process."""
+        raise StopSimulation(value)
+
+    @staticmethod
+    def _stop_callback(event: Event) -> None:
+        if event._ok:
+            raise StopSimulation(event._value)
+        raise typing.cast(BaseException, event._value)
+
+    # -- factories ----------------------------------------------------------
+    def event(self) -> Event:
+        """Create a new pending :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create a :class:`Timeout` firing ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator, name: str = "") -> "Process":
+        """Start a new :class:`Process` running ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: typing.Iterable[Event]) -> AllOf:
+        """Condition event firing once all ``events`` have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: typing.Iterable[Event]) -> AnyOf:
+        """Condition event firing once any of ``events`` has fired."""
+        return AnyOf(self, events)
+
+
+class Process(Event):
+    """A running simulation process.
+
+    A process wraps a generator.  Each value the generator yields must be an
+    :class:`Event`; the process sleeps until that event fires and is then
+    resumed with the event's value (or, for failed events, has the event's
+    exception thrown into it).  The process object is itself an event that
+    fires when the generator returns — its value is the generator's return
+    value — so processes can wait for one another.
+    """
+
+    def __init__(
+        self, env: Environment, generator: ProcessGenerator, name: str = ""
+    ) -> None:
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        #: The event this process is currently waiting on (None if runnable
+        #: or finished).
+        self._target: Optional[Event] = None
+        init = Event(env)
+        init._ok = True
+        init._value = None
+        init.callbacks.append(self._resume)  # type: ignore[union-attr]
+        env.schedule(init, priority=URGENT)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the wrapped generator has not exited."""
+        return self._value is PENDING
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event the process is waiting for (None when runnable)."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process.
+
+        The process stops waiting on its current target (the target event is
+        *not* cancelled — it may fire later and is then ignored) and resumes
+        with the exception.  Interrupting a finished process is an error;
+        interrupting itself is not allowed.
+        """
+        if not self.is_alive:
+            raise SimulationError(f"{self!r} has terminated and cannot be interrupted")
+        if self is self.env.active_process:
+            raise SimulationError("a process is not allowed to interrupt itself")
+
+        interrupt_event = Event(self.env)
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        interrupt_event.defused = True
+        interrupt_event.callbacks.append(self._resume)  # type: ignore[union-attr]
+        self.env.schedule(interrupt_event, priority=URGENT)
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the fired event."""
+        if not self.is_alive:
+            # A stale target fired after the process already terminated
+            # (e.g. it was interrupted away from the target and then exited).
+            return
+        if self._target is not None and event is not self._target:
+            # An interrupt arrived while we waited on _target: detach.
+            if isinstance(event._value, Interrupt):
+                if self._target.callbacks is not None:
+                    try:
+                        self._target.callbacks.remove(self._resume)
+                    except ValueError:
+                        pass
+            else:
+                # A stale event (left over after an interrupt) fired: ignore.
+                return
+
+        self.env._active_process = self
+        self._target = None
+        try:
+            if event._ok:
+                next_event = self._generator.send(event._value)
+            else:
+                event.defused = True
+                next_event = self._generator.throw(
+                    typing.cast(BaseException, event._value)
+                )
+        except StopIteration as stop:
+            self.env._active_process = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.env._active_process = None
+            self.fail(exc)
+            return
+        self.env._active_process = None
+
+        if not isinstance(next_event, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded a non-event: {next_event!r}"
+            )
+        if next_event.env is not self.env:
+            raise SimulationError(
+                f"process {self.name!r} yielded an event from another environment"
+            )
+        if next_event.callbacks is None:
+            # Already processed: resume immediately (keeps same-time order
+            # deterministic by going through the calendar).
+            resume = Event(self.env)
+            resume._ok = next_event._ok
+            resume._value = next_event._value
+            if not resume._ok:
+                resume.defused = True
+            self._target = resume
+            resume.callbacks.append(self._resume)  # type: ignore[union-attr]
+            self.env.schedule(resume, priority=URGENT)
+        else:
+            self._target = next_event
+            next_event.callbacks.append(self._resume)
+
+    def __repr__(self) -> str:
+        state = "alive" if self.is_alive else "dead"
+        return f"<Process {self.name!r} ({state})>"

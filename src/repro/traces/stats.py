@@ -1,0 +1,89 @@
+"""Trace statistics, including the paper's change-interval analysis.
+
+The paper analysed its traces and found that "the expected time between
+significant changes in the bandwidth (>= 10%) was about 2 minutes", which
+motivated the monitoring cache timeout ``T_thres = 40 s``.  This module
+reproduces that analysis so the synthetic traces can be validated against
+the reported statistic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.traces.trace import BandwidthTrace
+
+
+def change_intervals(
+    trace: BandwidthTrace, threshold: float = 0.10
+) -> np.ndarray:
+    """Times between successive *significant* bandwidth changes.
+
+    Walk the trace keeping a reference level; each time the rate deviates
+    from the reference by at least ``threshold`` (relative), record the
+    elapsed time since the previous significant change and reset the
+    reference.  Returns an array of intervals in seconds (possibly empty).
+    """
+    if not 0 < threshold < 1:
+        raise ValueError(f"threshold must be in (0, 1), got {threshold!r}")
+    intervals: list[float] = []
+    reference = float(trace.rates[0])
+    last_change = float(trace.times[0])
+    for t, r in zip(trace.times[1:], trace.rates[1:]):
+        if abs(r - reference) / reference >= threshold:
+            intervals.append(float(t) - last_change)
+            last_change = float(t)
+            reference = float(r)
+    return np.asarray(intervals)
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Summary statistics of one bandwidth trace."""
+
+    name: str
+    mean_rate: float
+    median_rate: float
+    min_rate: float
+    max_rate: float
+    #: Coefficient of variation of the sampled rates.
+    cv: float
+    #: Mean seconds between >=10% bandwidth changes (NaN if none occurred).
+    mean_change_interval: float
+    #: Number of >=10% changes observed.
+    n_changes: int
+
+
+def trace_stats(trace: BandwidthTrace, threshold: float = 0.10) -> TraceStats:
+    """Compute :class:`TraceStats` for ``trace``."""
+    rates = trace.rates
+    intervals = change_intervals(trace, threshold)
+    mean = float(np.mean(rates))
+    return TraceStats(
+        name=trace.name,
+        mean_rate=mean,
+        median_rate=float(np.median(rates)),
+        min_rate=float(np.min(rates)),
+        max_rate=float(np.max(rates)),
+        cv=float(np.std(rates) / mean) if mean > 0 else float("nan"),
+        mean_change_interval=(
+            float(np.mean(intervals)) if intervals.size else float("nan")
+        ),
+        n_changes=int(intervals.size),
+    )
+
+
+def library_change_interval(
+    traces: list[BandwidthTrace], threshold: float = 0.10
+) -> float:
+    """Mean >=10%-change interval pooled across a list of traces."""
+    pooled: list[np.ndarray] = []
+    for trace in traces:
+        intervals = change_intervals(trace, threshold)
+        if intervals.size:
+            pooled.append(intervals)
+    if not pooled:
+        return float("nan")
+    return float(np.mean(np.concatenate(pooled)))

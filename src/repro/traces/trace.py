@@ -1,0 +1,249 @@
+"""Step-function bandwidth traces and transfer-time integration.
+
+A :class:`BandwidthTrace` holds sample times ``t[0..n-1]`` (seconds) and
+rates ``r[0..n-1]`` (bytes/second); the instantaneous rate is ``r[i]`` for
+``t[i] <= t < t[i+1]``.  Before ``t[0]`` the rate is ``r[0]``; after the
+last sample the rate holds at ``r[n-1]`` (the trace segments used in the
+experiments are long enough that this never matters).
+
+The core operation is :meth:`BandwidthTrace.transfer_time`: the time to
+move ``nbytes`` starting at ``t0``, found by inverting the cumulative
+byte integral of the step function.  This is what makes the network model
+honest about transfers that straddle bandwidth changes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+#: Smallest rate we allow, so transfer times stay finite.  1 byte/s is far
+#: below anything a mid-1990s WAN path would sustain while still "up".
+MIN_RATE = 1.0
+
+
+class BandwidthTrace:
+    """An immutable step-function of available bandwidth over time.
+
+    Parameters
+    ----------
+    times:
+        Strictly increasing sample times, seconds.
+    rates:
+        Bandwidth at each sample time, bytes/second.  Clamped below at
+        :data:`MIN_RATE`.
+    name:
+        Optional label (e.g. ``"umd-ucla"``).
+    """
+
+    __slots__ = ("times", "rates", "name", "_cumbytes")
+
+    def __init__(
+        self,
+        times: Sequence[float] | np.ndarray,
+        rates: Sequence[float] | np.ndarray,
+        name: str = "",
+    ) -> None:
+        times_arr = np.asarray(times, dtype=np.float64)
+        rates_arr = np.asarray(rates, dtype=np.float64)
+        if times_arr.ndim != 1 or rates_arr.ndim != 1:
+            raise ValueError("times and rates must be one-dimensional")
+        if times_arr.size == 0:
+            raise ValueError("a trace needs at least one sample")
+        if times_arr.size != rates_arr.size:
+            raise ValueError(
+                f"length mismatch: {times_arr.size} times vs {rates_arr.size} rates"
+            )
+        if times_arr.size > 1 and not np.all(np.diff(times_arr) > 0):
+            raise ValueError("times must be strictly increasing")
+        if not np.all(np.isfinite(times_arr)):
+            raise ValueError("times must be finite")
+        if not np.all(np.isfinite(rates_arr)):
+            raise ValueError("rates must be finite")
+
+        self.times = times_arr
+        self.rates = np.maximum(rates_arr, MIN_RATE)
+        self.name = name
+        # _cumbytes[i] = bytes transferred between times[0] and times[i]
+        # at the trace's rates.  Lazily computed.
+        self._cumbytes: np.ndarray | None = None
+
+    # -- basic queries ------------------------------------------------------
+    def __len__(self) -> int:
+        return int(self.times.size)
+
+    @property
+    def start(self) -> float:
+        """Time of the first sample."""
+        return float(self.times[0])
+
+    @property
+    def end(self) -> float:
+        """Time of the last sample."""
+        return float(self.times[-1])
+
+    @property
+    def duration(self) -> float:
+        """``end - start``."""
+        return self.end - self.start
+
+    def rate_at(self, t: float) -> float:
+        """Instantaneous bandwidth (bytes/s) at time ``t``."""
+        index = int(np.searchsorted(self.times, t, side="right")) - 1
+        index = min(max(index, 0), len(self) - 1)
+        return float(self.rates[index])
+
+    def mean_rate(self, t0: float | None = None, t1: float | None = None) -> float:
+        """Time-weighted mean bandwidth over ``[t0, t1]`` (default: whole trace)."""
+        if t0 is None:
+            t0 = self.start
+        if t1 is None:
+            t1 = self.end
+        if t1 <= t0:
+            return self.rate_at(t0)
+        return self.bytes_between(t0, t1) / (t1 - t0)
+
+    # -- integration --------------------------------------------------------
+    def _cum(self) -> np.ndarray:
+        if self._cumbytes is None:
+            if len(self) == 1:
+                self._cumbytes = np.zeros(1)
+            else:
+                deltas = np.diff(self.times) * self.rates[:-1]
+                self._cumbytes = np.concatenate(([0.0], np.cumsum(deltas)))
+        return self._cumbytes
+
+    def bytes_between(self, t0: float, t1: float) -> float:
+        """Bytes deliverable between ``t0`` and ``t1`` at the trace's rates.
+
+        Head (before the first sample) and tail (after the last sample)
+        regions are computed directly against the flat extension rates, so
+        results stay accurate far outside the sampled window.
+        """
+        if t1 < t0:
+            raise ValueError(f"t1={t1} earlier than t0={t0}")
+        start, end = self.start, self.end
+        total = 0.0
+        if t0 < start:
+            total += (min(t1, start) - t0) * float(self.rates[0])
+        if t1 > end:
+            total += (t1 - max(t0, end)) * float(self.rates[-1])
+        lo, hi = max(t0, start), min(t1, end)
+        if hi > lo:
+            total += self._bytes_inside(hi) - self._bytes_inside(lo)
+        return total
+
+    def _bytes_inside(self, t: float) -> float:
+        """Cumulative bytes from ``start`` to ``t`` for start <= t <= end."""
+        cum = self._cum()
+        index = int(np.searchsorted(self.times, t, side="right")) - 1
+        index = min(max(index, 0), len(self) - 1)
+        return float(cum[index] + (t - self.times[index]) * self.rates[index])
+
+    def transfer_time(self, nbytes: float, t0: float) -> float:
+        """Seconds to move ``nbytes`` starting at time ``t0``.
+
+        The transfer consumes the step function's instantaneous rate; a
+        rate change mid-transfer changes the transfer's speed from that
+        moment on.  ``nbytes == 0`` takes zero time.  The walk is
+        segment-by-segment, so the result is exact (never negative) even
+        for tiny transfers far outside the sampled window.
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size {nbytes!r}")
+        if nbytes == 0:
+            return 0.0
+        rates = self.rates
+        times = self.times
+        last = len(self) - 1
+
+        if t0 >= self.end:
+            return nbytes / float(rates[last])
+        remaining = float(nbytes)
+        elapsed = 0.0
+        if t0 < self.start:
+            head_capacity = (self.start - t0) * float(rates[0])
+            if remaining <= head_capacity:
+                return remaining / float(rates[0])
+            remaining -= head_capacity
+            elapsed = self.start - t0
+            cursor = self.start
+            index = 0
+        else:
+            index = int(np.searchsorted(times, t0, side="right")) - 1
+            index = min(max(index, 0), last)
+            cursor = t0
+        while index < last:
+            segment_end = float(times[index + 1])
+            capacity = (segment_end - cursor) * float(rates[index])
+            if remaining <= capacity:
+                return elapsed + remaining / float(rates[index])
+            remaining -= capacity
+            elapsed += segment_end - cursor
+            cursor = segment_end
+            index += 1
+        return elapsed + remaining / float(rates[last])
+
+    # -- transforms ----------------------------------------------------------
+    def shifted(self, offset: float) -> "BandwidthTrace":
+        """A copy whose time axis is shifted by ``offset`` seconds."""
+        return BandwidthTrace(self.times + offset, self.rates, name=self.name)
+
+    def segment(self, t0: float, t1: float) -> "BandwidthTrace":
+        """The sub-trace covering ``[t0, t1]`` (rates extended flat)."""
+        if t1 <= t0:
+            raise ValueError(f"empty segment [{t0}, {t1}]")
+        inside = (self.times > t0) & (self.times < t1)
+        times = np.concatenate(([t0], self.times[inside], [t1]))
+        rates = np.concatenate(
+            ([self.rate_at(t0)], self.rates[inside], [self.rate_at(t1)])
+        )
+        return BandwidthTrace(times, rates, name=self.name)
+
+    def rebased(self, new_start: float = 0.0) -> "BandwidthTrace":
+        """A copy shifted so that the first sample sits at ``new_start``."""
+        return self.shifted(new_start - self.start)
+
+    def scaled(self, factor: float) -> "BandwidthTrace":
+        """A copy with all rates multiplied by ``factor``."""
+        if factor <= 0:
+            raise ValueError(f"scale factor must be positive, got {factor!r}")
+        return BandwidthTrace(self.times, self.rates * factor, name=self.name)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BandwidthTrace):
+            return NotImplemented
+        return (
+            np.array_equal(self.times, other.times)
+            and np.array_equal(self.rates, other.rates)
+        )
+
+    def __hash__(self) -> int:  # identity hash; traces are mutable-free but big
+        return object.__hash__(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"<BandwidthTrace {self.name!r} n={len(self)} "
+            f"[{self.start:.0f}s..{self.end:.0f}s] "
+            f"mean={self.mean_rate() / 1024:.1f}KB/s>"
+        )
+
+
+def constant_trace(rate: float, name: str = "constant") -> BandwidthTrace:
+    """A trace with a single, constant rate (bytes/second)."""
+    if rate <= 0:
+        raise ValueError(f"rate must be positive, got {rate!r}")
+    return BandwidthTrace([0.0], [rate], name=name)
+
+
+def merge_min(traces: Iterable[BandwidthTrace], name: str = "min") -> BandwidthTrace:
+    """Pointwise minimum of several traces (bottleneck of a multi-hop path)."""
+    traces = list(traces)
+    if not traces:
+        raise ValueError("need at least one trace")
+    grid = np.unique(np.concatenate([t.times for t in traces]))
+    rates = np.min(
+        np.stack([[t.rate_at(x) for x in grid] for t in traces]), axis=0
+    )
+    return BandwidthTrace(grid, rates, name=name)

@@ -1,0 +1,119 @@
+"""Trace transformations: resampling, clipping, stitching, importing.
+
+Users replaying *real* bandwidth measurements (e.g. Network Weather
+Service logs) need a few mundane operations to turn them into simulation
+inputs: regularizing the sample grid, bounding outliers, joining
+multi-day collections and parsing measurement logs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.traces.trace import BandwidthTrace
+
+
+def resample(trace: BandwidthTrace, period: float) -> BandwidthTrace:
+    """Regularize a trace onto a fixed sample grid.
+
+    Each output sample is the *time-weighted mean* of the input over its
+    bucket, so total deliverable bytes are (bucket-wise) preserved — the
+    property the transfer integrator cares about.
+    """
+    if period <= 0:
+        raise ValueError(f"period must be positive, got {period!r}")
+    if trace.duration <= 0:
+        return BandwidthTrace([trace.start], [float(trace.rates[0])], trace.name)
+    edges = np.arange(trace.start, trace.end + period, period)
+    if edges[-1] < trace.end:
+        edges = np.append(edges, trace.end)
+    rates = [
+        trace.mean_rate(float(lo), float(hi))
+        for lo, hi in zip(edges[:-1], edges[1:])
+    ]
+    return BandwidthTrace(edges[:-1], rates, name=trace.name)
+
+
+def clip_rates(
+    trace: BandwidthTrace,
+    lo: float = 0.0,
+    hi: float = float("inf"),
+) -> BandwidthTrace:
+    """Bound the trace's rates to ``[lo, hi]`` (outlier control)."""
+    if lo > hi:
+        raise ValueError(f"lo={lo!r} exceeds hi={hi!r}")
+    return BandwidthTrace(
+        trace.times, np.clip(trace.rates, lo, hi), name=trace.name
+    )
+
+
+def stitch(traces: Sequence[BandwidthTrace], gap: float = 0.0) -> BandwidthTrace:
+    """Concatenate traces end-to-end in time (multi-day collections).
+
+    Each subsequent trace is shifted to start where the previous one
+    ended (plus ``gap`` seconds).
+    """
+    traces = list(traces)
+    if not traces:
+        raise ValueError("need at least one trace")
+    if gap < 0:
+        raise ValueError(f"gap must be non-negative, got {gap!r}")
+    times: list[float] = list(map(float, traces[0].times))
+    rates: list[float] = list(map(float, traces[0].rates))
+    cursor = traces[0].end
+    for trace in traces[1:]:
+        shifted = trace.rebased(cursor + gap)
+        # The later trace owns the boundary instant: drop any earlier
+        # samples at or after its start.
+        while times and times[-1] >= shifted.start:
+            times.pop()
+            rates.pop()
+        times.extend(map(float, shifted.times))
+        rates.extend(map(float, shifted.rates))
+        cursor = shifted.end
+    return BandwidthTrace(times, rates, name=traces[0].name)
+
+
+def load_trace_measurements(
+    path: Union[str, Path],
+    name: str = "",
+    unit_scale: float = 1.0,
+) -> BandwidthTrace:
+    """Parse a whitespace-separated measurement log into a trace.
+
+    The format is the common denominator of NWS-style sensor logs: one
+    measurement per line, ``<timestamp> <value>``, ``#`` comments and
+    blank lines ignored.  ``unit_scale`` converts the value column to
+    bytes/second (e.g. ``125000.0`` for megabits/second).  Out-of-order
+    timestamps are sorted; duplicate timestamps keep the last value.
+    """
+    if unit_scale <= 0:
+        raise ValueError(f"unit_scale must be positive, got {unit_scale!r}")
+    times: list[float] = []
+    rates: list[float] = []
+    with open(path) as fh:
+        for line_number, raw in enumerate(fh, start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise ValueError(
+                    f"{path}:{line_number}: expected '<time> <value>', "
+                    f"got {raw!r}"
+                )
+            times.append(float(parts[0]))
+            rates.append(float(parts[1]) * unit_scale)
+    if not times:
+        raise ValueError(f"{path}: no measurements found")
+    order = np.argsort(np.asarray(times), kind="stable")
+    sorted_times = np.asarray(times)[order]
+    sorted_rates = np.asarray(rates)[order]
+    # Collapse duplicate timestamps, keeping the last occurrence.
+    keep = np.append(np.diff(sorted_times) > 0, True)
+    return BandwidthTrace(
+        sorted_times[keep], sorted_rates[keep], name=name or str(path)
+    )

@@ -1,0 +1,102 @@
+"""Merge and join combiner semantics, and their cost-model propagation."""
+
+import pytest
+
+from repro.app.combine import JoinCombiner, MergeCombiner
+from repro.app.composition import CompositionSpec
+from repro.dataflow.cost import CostModel, expected_output_sizes
+from repro.dataflow.tree import complete_binary_tree
+
+TREE = complete_binary_tree(4)
+
+
+class TestMergeCombiner:
+    def test_output_is_sum(self):
+        combiner = MergeCombiner()
+        assert combiner.output_size(100.0, 250.0) == 350.0
+
+    def test_compute_linear_in_output(self):
+        combiner = MergeCombiner(seconds_per_byte=1e-6)
+        assert combiner.compute_seconds(100.0, 200.0) == pytest.approx(3e-4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MergeCombiner(seconds_per_byte=-1)
+        with pytest.raises(ValueError):
+            MergeCombiner().output_size(-1, 5)
+
+    def test_moment_rule(self):
+        assert MergeCombiner().moment_rule == "sum"
+
+
+class TestJoinCombiner:
+    def test_output_bounded_by_smaller_side(self):
+        combiner = JoinCombiner(match_rate=0.5)
+        assert combiner.output_size(100.0, 1000.0) == 50.0
+        assert combiner.output_size(1000.0, 100.0) == 50.0
+
+    def test_fanout_rate(self):
+        combiner = JoinCombiner(match_rate=2.0)
+        assert combiner.output_size(100.0, 200.0) == 200.0
+
+    def test_compute_covers_both_inputs(self):
+        combiner = JoinCombiner(seconds_per_byte=1e-6)
+        assert combiner.compute_seconds(100.0, 200.0) == pytest.approx(3e-4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JoinCombiner(match_rate=0)
+        with pytest.raises(ValueError):
+            JoinCombiner(seconds_per_byte=-1)
+
+    def test_moment_rule(self):
+        assert JoinCombiner().moment_rule == "scaled-min"
+
+
+class TestMomentPropagation:
+    def test_sum_rule_adds_means(self):
+        sizes = expected_output_sizes(TREE, 1000.0, 0.0, combiner=MergeCombiner())
+        assert sizes["op0"] == pytest.approx(2000.0)
+        root = TREE.root_operator.node_id
+        assert sizes[root] == pytest.approx(4000.0)
+
+    def test_scaled_min_rule_shrinks(self):
+        sizes = expected_output_sizes(
+            TREE, 1000.0, 0.0, combiner=JoinCombiner(match_rate=0.5)
+        )
+        assert sizes["op0"] == pytest.approx(500.0)
+        root = TREE.root_operator.node_id
+        assert sizes[root] == pytest.approx(250.0)
+
+    def test_max_rule_matches_default(self):
+        with_spec = expected_output_sizes(
+            TREE, 1000.0, 0.25, combiner=CompositionSpec()
+        )
+        default = expected_output_sizes(TREE, 1000.0, 0.25)
+        assert with_spec == default
+
+    def test_unknown_rule_rejected(self):
+        class Weird:
+            moment_rule = "geometric"
+
+        with pytest.raises(ValueError):
+            expected_output_sizes(TREE, 1000.0, 0.25, combiner=Weird())
+
+    def test_scaled_min_floors_at_one_byte(self):
+        sizes = expected_output_sizes(
+            TREE, 2.0, 0.0, combiner=JoinCombiner(match_rate=0.01)
+        )
+        assert all(v >= 1.0 for v in sizes.values())
+
+
+class TestCostModelCombiner:
+    def test_operator_compute_uses_combiner(self):
+        sizes = expected_output_sizes(TREE, 1000.0, 0.0, combiner=JoinCombiner())
+        model = CostModel(TREE, sizes, combiner=JoinCombiner(seconds_per_byte=1e-3))
+        # op0's children are two 1000-byte servers: (1000+1000)*1e-3.
+        assert model.node_seconds("op0") == pytest.approx(2.0)
+
+    def test_without_combiner_uses_output_bytes(self):
+        sizes = {n.node_id: 1000.0 for n in TREE.nodes()}
+        model = CostModel(TREE, sizes, compute_seconds_per_byte=1e-3)
+        assert model.node_seconds("op0") == pytest.approx(1.0)

@@ -1,0 +1,48 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.config import Algorithm, SimulationSpec
+from repro.sim import Environment
+from repro.traces import constant_trace
+
+
+@pytest.fixture
+def env() -> Environment:
+    """A fresh simulation environment."""
+    return Environment()
+
+
+def complete_links(hosts, rate=50 * 1024.0):
+    """Constant-rate traces for the complete graph over ``hosts``."""
+    links = {}
+    for i, a in enumerate(hosts):
+        for b in hosts[i + 1 :]:
+            key = (a, b) if a < b else (b, a)
+            links[key] = constant_trace(rate, name=f"{key[0]}~{key[1]}")
+    return links
+
+
+def tiny_spec(
+    algorithm: Algorithm = Algorithm.DOWNLOAD_ALL,
+    num_servers: int = 4,
+    images: int = 6,
+    rate: float = 50 * 1024.0,
+    **overrides,
+) -> SimulationSpec:
+    """A small, fast simulation spec on constant-rate links."""
+    hosts = tuple(f"h{i}" for i in range(num_servers))
+    links = overrides.pop("link_traces", None) or complete_links(
+        [*hosts, "client"], rate
+    )
+    return SimulationSpec(
+        algorithm=algorithm,
+        tree_shape=overrides.pop("tree_shape", "binary"),
+        num_servers=num_servers,
+        link_traces=links,
+        server_hosts=hosts,
+        images_per_server=images,
+        **overrides,
+    )

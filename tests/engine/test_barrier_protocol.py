@@ -1,0 +1,88 @@
+"""The global algorithm's barrier change-over protocol (§2.2)."""
+
+import pytest
+
+from repro.dataflow.placement import Placement
+from repro.engine.config import Algorithm
+from repro.engine.controllers import GlobalController
+from repro.engine.simulation import build_simulation
+from repro.traces import BandwidthTrace
+from tests.conftest import complete_links, tiny_spec
+
+
+def run_with_forced_install(spec, target_assignment_change, at_time):
+    """Run a simulation, forcing one placement install at ``at_time``."""
+    env, runtime = build_simulation(spec)
+    installs = []
+    controller = None
+    # Find the controller the builder spawned by reaching into the env is
+    # fragile; instead drive a fresh controller's _install directly.
+    from repro.placement.global_planner import GlobalPlanner
+    from repro.dataflow.cost import CostModel, expected_output_sizes
+
+    sizes = expected_output_sizes(
+        runtime.tree, spec.mean_image_size, spec.image_rel_std
+    )
+    cost_model = CostModel(runtime.tree, sizes)
+    planner = GlobalPlanner(runtime.tree, list(spec.all_hosts), cost_model)
+    client_actor = None
+    # The builder registered the client actor process; rebuild a handle.
+    # Simplest: grab it from runtime.operators' sibling structure — the
+    # client actor is reachable via the controller; here we recreate the
+    # messaging through a minimal shim object.
+
+    class Shim:
+        pass
+
+    def forced(env):
+        yield env.timeout(at_time)
+        new_assignment = runtime.current_placement.as_dict()
+        new_assignment.update(target_assignment_change)
+        placement = Placement(new_assignment)
+        controller = GlobalController(runtime, planner, runtime.client_actor)
+        yield from controller._install(placement)
+        installs.append(env.now)
+
+    env.process(forced(env))
+    stop = env.any_of([runtime.done, env.timeout(spec.max_sim_time)])
+    env.run(until=stop)
+    return runtime, installs
+
+
+class TestBarrier:
+    def spec(self, **overrides):
+        # download-all keeps the built-in controller out of the way so the
+        # test can drive its own barrier.
+        overrides.setdefault("images", 30)
+        return tiny_spec(algorithm=Algorithm.DOWNLOAD_ALL, **overrides)
+
+    def test_forced_changeover_completes_and_moves_operator(self):
+        spec = self.spec()
+        runtime, installs = run_with_forced_install(
+            spec, {"op0": "h0"}, at_time=20.0
+        )
+        assert installs, "barrier never completed"
+        assert len(runtime.metrics.arrival_times) == 30
+        assert runtime.metrics.relocations == 1
+        assert runtime.network.actor_host("op0") == "h0"
+
+    def test_changeover_preserves_every_image(self):
+        spec = self.spec()
+        runtime, __ = run_with_forced_install(spec, {"op0": "h1", "op2": "h2"}, 15.0)
+        assert runtime.metrics.arrival_times == sorted(
+            runtime.metrics.arrival_times
+        )
+        assert len(runtime.metrics.arrival_times) == 30
+
+    def test_late_changeover_past_end_is_harmless(self):
+        """A barrier whose switch iteration lands after the workload ends
+        must not stall the servers."""
+        spec = self.spec(images=8)
+        runtime, installs = run_with_forced_install(spec, {"op0": "h3"}, 1.0)
+        assert len(runtime.metrics.arrival_times) == 8
+
+    def test_barrier_stall_tracked(self):
+        spec = self.spec()
+        runtime, __ = run_with_forced_install(spec, {"op1": "h2"}, 10.0)
+        assert runtime.metrics.barrier_rounds == 1
+        assert runtime.metrics.barrier_stall_seconds > 0

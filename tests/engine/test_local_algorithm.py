@@ -1,0 +1,115 @@
+"""Local-algorithm engine behaviour: marks, epochs, vector propagation."""
+
+import pytest
+
+from repro.engine.config import Algorithm
+from repro.engine.simulation import build_simulation, run_simulation
+from repro.traces import BandwidthTrace
+from tests.conftest import complete_links, tiny_spec
+
+
+class TestLaterMarks:
+    def test_exactly_one_producer_marked_per_iteration(self):
+        """The root operator marks exactly one of its two producers as
+        'later' per iteration, and the marks land on the producer whose
+        delivery is slower (the remote one, when its sibling is local)."""
+        hosts = [f"h{i}" for i in range(4)] + ["client"]
+        links = complete_links(hosts, rate=100 * 1024.0)
+        for key in list(links):
+            if "h0" in key or "h1" in key:
+                links[key] = BandwidthTrace([0.0], [4 * 1024.0])
+        spec = tiny_spec(
+            Algorithm.LOCAL,
+            images=20,
+            link_traces=links,
+            relocation_period=1e9,  # epochs never fire: counters persist
+        )
+        env, runtime = build_simulation(spec)
+        stop = env.any_of([runtime.done, env.timeout(spec.max_sim_time)])
+        env.run(until=stop)
+        root = runtime.operators[runtime.tree.root_operator.node_id]
+        children = [runtime.operators[c] for c in root.producers]
+        total_marks = sum(c.later_marks_in_epoch for c in children)
+        # One mark per root demand (the mark for the final iteration has
+        # no follow-up demand to ride on).
+        assert root.dispatches_in_epoch - 1 <= total_marks
+        assert total_marks <= root.dispatches_in_epoch
+        # The producer co-located with the root delivers instantly and is
+        # never the later one; its remote sibling absorbs the marks.
+        root_host = runtime.host_of(root.actor_id)
+        for child in children:
+            if runtime.host_of(child.actor_id) == root_host:
+                assert child.later_marks_in_epoch <= 1
+            else:
+                assert (
+                    child.later_marks_in_epoch
+                    > child.dispatches_in_epoch / 2
+                )
+
+    def test_client_always_marks_root(self):
+        spec = tiny_spec(Algorithm.LOCAL, images=10, relocation_period=1e9)
+        env, runtime = build_simulation(spec)
+        stop = env.any_of([runtime.done, env.timeout(spec.max_sim_time)])
+        env.run(until=stop)
+        root = runtime.operators[runtime.tree.root_operator.node_id]
+        # The client's single producer is always the "later" one.
+        assert root.later_marks_in_epoch >= root.dispatches_in_epoch - 1
+        assert root.consumer_critical
+
+
+class TestVectorPropagation:
+    def test_move_becomes_known_across_hosts(self):
+        """After a local move, peers that exchange messages with the moved
+        operator learn its location through the piggybacked vectors."""
+        hosts = [f"h{i}" for i in range(4)] + ["client"]
+        links = complete_links(hosts, rate=60 * 1024.0)
+        for key in list(links):
+            if "client" in key:
+                links[key] = BandwidthTrace([0.0], [3 * 1024.0])
+        spec = tiny_spec(
+            Algorithm.LOCAL,
+            images=50,
+            link_traces=links,
+            relocation_period=120.0,
+        )
+        env, runtime = build_simulation(spec)
+        stop = env.any_of([runtime.done, env.timeout(spec.max_sim_time)])
+        env.run(until=stop)
+        if runtime.metrics.relocations == 0:
+            pytest.skip("no move happened in this configuration")
+        for event in runtime.metrics.relocation_events:
+            truth = runtime.network.actor_host(event.actor)
+            # The hosts of the moved operator's tree neighbours must agree
+            # with ground truth by the end of the run.
+            node = runtime.tree.node(event.actor)
+            neighbours = [*node.children, node.parent]
+            for neighbour in neighbours:
+                host = runtime.network.actor_host(neighbour)
+                believed = runtime.vectors[host].location_of(event.actor)
+                assert believed == truth
+
+    def test_epochs_respect_wavefront_staggering(self):
+        """Level-0 operators act at epoch boundaries before level-1 ones."""
+        from repro.engine.controllers import LocalController
+
+        spec = tiny_spec(Algorithm.LOCAL, images=40, relocation_period=60.0)
+        env, runtime = build_simulation(spec)
+        acted = []
+        original = LocalController._act
+
+        def spying_act(self, op_id, rng):
+            acted.append((env.now, runtime.tree.node(op_id).level))
+            yield from original(self, op_id, rng)
+
+        LocalController._act = spying_act
+        try:
+            stop = env.any_of([runtime.done, env.timeout(400.0)])
+            env.run(until=stop)
+        finally:
+            LocalController._act = original
+        assert acted, "no epoch decisions fired"
+        depth = runtime.tree.depth()
+        epoch_len = 60.0 / depth
+        for time, level in acted:
+            boundary = round(time / epoch_len)
+            assert boundary % depth == (level + 1) % depth

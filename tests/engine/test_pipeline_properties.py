@@ -1,0 +1,61 @@
+"""Property-based end-to-end tests of the execution engine."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.config import Algorithm
+from repro.engine.simulation import run_simulation
+from tests.conftest import complete_links, tiny_spec
+
+
+@given(
+    num_servers=st.integers(min_value=2, max_value=6),
+    images=st.integers(min_value=1, max_value=8),
+    algorithm=st.sampled_from(list(Algorithm)),
+    rate_kb=st.floats(min_value=2.0, max_value=500.0),
+    shape=st.sampled_from(["binary", "left-deep"]),
+)
+@settings(max_examples=25, deadline=None)
+def test_every_configuration_delivers_all_images_in_order(
+    num_servers, images, algorithm, rate_kb, shape
+):
+    spec = tiny_spec(
+        algorithm=algorithm,
+        num_servers=num_servers,
+        images=images,
+        rate=rate_kb * 1024.0,
+        tree_shape=shape,
+        relocation_period=90.0,
+    )
+    metrics = run_simulation(spec)
+    assert not metrics.truncated
+    assert len(metrics.arrival_times) == images
+    assert metrics.arrival_times == sorted(metrics.arrival_times)
+    assert metrics.completion_time > 0
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=50),
+    replication=st.integers(min_value=1, max_value=3),
+)
+@settings(max_examples=15, deadline=None)
+def test_replicated_runs_complete(seed, replication):
+    spec = tiny_spec(
+        algorithm=Algorithm.GLOBAL,
+        images=6,
+        replication_factor=replication,
+        workload_seed=seed,
+        relocation_period=60.0,
+    )
+    metrics = run_simulation(spec)
+    assert not metrics.truncated
+    assert len(metrics.arrival_times) == 6
+
+
+@given(capacity=st.integers(min_value=1, max_value=4))
+@settings(max_examples=8, deadline=None)
+def test_nic_capacity_never_slows_the_system(capacity):
+    base = run_simulation(tiny_spec(images=8, nic_capacity=1))
+    scaled = run_simulation(tiny_spec(images=8, nic_capacity=capacity))
+    # More interfaces may only help (work-conserving arbiter).
+    assert scaled.completion_time <= base.completion_time * 1.001

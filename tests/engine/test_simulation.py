@@ -1,0 +1,205 @@
+"""End-to-end engine tests: all algorithms on small workloads."""
+
+import pytest
+
+from repro.engine.config import Algorithm
+from repro.engine.simulation import build_simulation, build_tree, run_simulation
+from repro.traces import BandwidthTrace
+from tests.conftest import complete_links, tiny_spec
+
+
+class TestPipelineCorrectness:
+    @pytest.mark.parametrize("algorithm", list(Algorithm))
+    def test_all_images_delivered_in_order(self, algorithm):
+        spec = tiny_spec(algorithm=algorithm, images=8)
+        metrics = run_simulation(spec)
+        assert not metrics.truncated
+        assert len(metrics.arrival_times) == 8
+        assert metrics.arrival_times == sorted(metrics.arrival_times)
+
+    @pytest.mark.parametrize("shape", ["binary", "left-deep"])
+    def test_tree_shapes_complete(self, shape):
+        spec = tiny_spec(tree_shape=shape, images=5)
+        metrics = run_simulation(spec)
+        assert len(metrics.arrival_times) == 5
+
+    def test_odd_server_count(self):
+        spec = tiny_spec(num_servers=5, images=4)
+        metrics = run_simulation(spec)
+        assert len(metrics.arrival_times) == 4
+
+    def test_two_servers_minimal_tree(self):
+        spec = tiny_spec(num_servers=2, images=4)
+        metrics = run_simulation(spec)
+        assert len(metrics.arrival_times) == 4
+
+    def test_deterministic_repetition(self):
+        a = run_simulation(tiny_spec(algorithm=Algorithm.GLOBAL, images=6))
+        b = run_simulation(tiny_spec(algorithm=Algorithm.GLOBAL, images=6))
+        assert a.arrival_times == b.arrival_times
+        assert a.relocations == b.relocations
+
+    def test_download_all_time_matches_hand_model(self):
+        """4 servers, constant 50 KB/s links, all ops at the client: per
+        image the client NIC receives 4 transfers serially."""
+        rate = 50 * 1024.0
+        size = 128 * 1024.0
+        spec = tiny_spec(
+            algorithm=Algorithm.DOWNLOAD_ALL,
+            images=6,
+            rate=rate,
+            mean_image_size=size,
+            image_rel_std=0.0,
+        )
+        metrics = run_simulation(spec)
+        per_transfer = 0.05 + (size + 256) / rate
+        expected_interval = 4 * per_transfer
+        # Pipelined steady state; allow compute/demand slack.
+        assert metrics.mean_interarrival == pytest.approx(
+            expected_interval, rel=0.25
+        )
+
+    def test_prefetch_improves_throughput(self):
+        base = tiny_spec(images=10)
+        with_prefetch = run_simulation(base)
+        without = run_simulation(tiny_spec(images=10, prefetch=False))
+        assert with_prefetch.completion_time < without.completion_time
+
+    def test_compute_charged(self):
+        """Composition at 7 us/pixel must slow down completion."""
+        fast = run_simulation(tiny_spec(images=6))
+        from repro.app.composition import CompositionSpec
+
+        slow = run_simulation(
+            tiny_spec(images=6, compose=CompositionSpec(seconds_per_pixel=7e-4))
+        )
+        assert slow.completion_time > fast.completion_time
+
+
+class TestRelocationBehaviour:
+    def test_static_algorithms_never_move(self):
+        for algorithm in (Algorithm.DOWNLOAD_ALL, Algorithm.ONE_SHOT):
+            metrics = run_simulation(tiny_spec(algorithm=algorithm, images=6))
+            assert metrics.relocations == 0
+            assert metrics.barrier_rounds == 0
+
+    def test_global_reacts_to_bandwidth_collapse(self):
+        """The links into one helper host collapse mid-run; the global
+        algorithm must relocate and beat a one-shot placement."""
+        hosts = [f"h{i}" for i in range(4)] + ["client"]
+        links = complete_links(hosts, rate=60 * 1024.0)
+
+        def crashing(key):
+            # Links touching h1 are fast until t=200 then almost dead.
+            return BandwidthTrace([0.0, 200.0], [80 * 1024.0, 0.5 * 1024.0],
+                                  name=f"{key[0]}~{key[1]}")
+
+        for key in list(links):
+            if "h1" in key:
+                links[key] = crashing(key)
+        common = dict(
+            images=40,
+            link_traces=links,
+            relocation_period=120.0,
+            workload_seed=3,
+        )
+        one_shot = run_simulation(
+            tiny_spec(algorithm=Algorithm.ONE_SHOT, **common)
+        )
+        adaptive = run_simulation(
+            tiny_spec(algorithm=Algorithm.GLOBAL, **common)
+        )
+        assert adaptive.relocations > 0
+        assert adaptive.completion_time < one_shot.completion_time
+
+    def test_global_counts_barrier_rounds(self):
+        spec = tiny_spec(
+            algorithm=Algorithm.GLOBAL, images=30, relocation_period=50.0
+        )
+        metrics = run_simulation(spec)
+        assert metrics.planner_runs > 0
+        assert metrics.placements_installed == metrics.barrier_rounds
+
+    def test_local_moves_execute_in_windows(self):
+        hosts = [f"h{i}" for i in range(4)] + ["client"]
+        links = complete_links(hosts, rate=40 * 1024.0)
+        # Client links are awful: local ops should drift off the client.
+        for key in list(links):
+            if "client" in key:
+                links[key] = BandwidthTrace([0.0], [4 * 1024.0])
+        spec = tiny_spec(
+            algorithm=Algorithm.LOCAL,
+            images=60,
+            link_traces=links,
+            relocation_period=100.0,
+        )
+        metrics = run_simulation(spec)
+        assert len(metrics.arrival_times) == 60
+
+    def test_oracle_monitoring_runs(self):
+        spec = tiny_spec(
+            algorithm=Algorithm.GLOBAL,
+            images=10,
+            oracle_monitoring=True,
+            relocation_period=60.0,
+        )
+        metrics = run_simulation(spec)
+        assert metrics.probes_sent == 0
+        assert len(metrics.arrival_times) == 10
+
+    def test_probe_before_planning_generates_probes(self):
+        spec = tiny_spec(
+            algorithm=Algorithm.GLOBAL,
+            images=40,
+            probe_before_planning=True,
+            relocation_period=40.0,
+        )
+        metrics = run_simulation(spec)
+        assert metrics.probes_sent > 0
+
+    def test_barrier_priority_ablation_runs(self):
+        spec = tiny_spec(
+            algorithm=Algorithm.GLOBAL,
+            images=10,
+            barrier_priority=False,
+            relocation_period=60.0,
+        )
+        metrics = run_simulation(spec)
+        assert len(metrics.arrival_times) == 10
+
+
+class TestBuildSimulation:
+    def test_build_tree_shapes(self):
+        spec = tiny_spec()
+        assert build_tree(spec).depth() == 2
+        spec = tiny_spec(tree_shape="left-deep")
+        assert build_tree(spec).depth() == 3
+
+    def test_initial_placement_per_algorithm(self):
+        env, runtime = build_simulation(tiny_spec(Algorithm.DOWNLOAD_ALL))
+        assert all(
+            runtime.initial_placement.host_of(op.node_id) == "client"
+            for op in runtime.tree.operators()
+        )
+        env2, runtime2 = build_simulation(
+            tiny_spec(Algorithm.ONE_SHOT, rate=10 * 1024.0)
+        )
+        moved = [
+            op.node_id
+            for op in runtime2.tree.operators()
+            if runtime2.initial_placement.host_of(op.node_id) != "client"
+        ]
+        assert moved  # uniform slow links: congestion must be relieved
+
+    def test_actors_registered(self):
+        env, runtime = build_simulation(tiny_spec())
+        for node in runtime.tree.nodes():
+            assert runtime.network.actor_host(node.node_id) == (
+                runtime.initial_placement.host_of(node.node_id)
+            )
+
+    def test_max_sim_time_truncates(self):
+        spec = tiny_spec(images=50, rate=64.0, max_sim_time=100.0)
+        metrics = run_simulation(spec)
+        assert metrics.truncated
+        assert len(metrics.arrival_times) < 50

@@ -1,0 +1,98 @@
+"""Location/timestamp vector semantics (§2.3)."""
+
+import pytest
+
+from repro.engine.vectors import VectorStore
+
+
+def store(**locations):
+    return VectorStore(locations or {"op0": "h0", "op1": "h1"})
+
+
+class TestVectorStore:
+    def test_initial_state(self):
+        s = store()
+        assert s.location_of("op0") == "h0"
+        assert s.timestamps == {"op0": 0, "op1": 0}
+
+    def test_unknown_operator_raises(self):
+        with pytest.raises(KeyError):
+            store().location_of("ghost")
+        with pytest.raises(KeyError):
+            store().record_move("ghost", "h2")
+
+    def test_record_move_bumps_timestamp(self):
+        s = store()
+        s.record_move("op0", "h5")
+        assert s.location_of("op0") == "h5"
+        assert s.timestamps["op0"] == 1
+
+    def test_dominance_definition(self):
+        s = store()
+        s.record_move("op0", "h5")  # ts = {op0: 1, op1: 0}
+        assert s.dominates({"op0": 2, "op1": 0})
+        assert s.dominates({"op0": 1, "op1": 1})
+        assert not s.dominates({"op0": 1, "op1": 0})  # equal, not dominant
+        assert not s.dominates({"op0": 0, "op1": 5})  # one entry smaller
+
+    def test_merge_overwrites_on_dominance(self):
+        s = store()
+        incoming_ts = {"op0": 2, "op1": 1}
+        incoming_loc = {"op0": "h7", "op1": "h8"}
+        assert s.merge(incoming_ts, incoming_loc)
+        assert s.location_of("op0") == "h7"
+        assert s.location_of("op1") == "h8"
+        assert s.timestamps == incoming_ts
+
+    def test_merge_rejected_without_dominance(self):
+        s = store()
+        s.record_move("op0", "h5")
+        # Incomparable: newer op1 but older op0.
+        assert not s.merge({"op0": 0, "op1": 3}, {"op0": "x", "op1": "y"})
+        assert s.location_of("op0") == "h5"
+        assert s.location_of("op1") == "h1"
+
+    def test_refresh_entry_single_operator(self):
+        s = store()
+        assert s.refresh_entry("op0", "h9", timestamp=2)
+        assert s.location_of("op0") == "h9"
+        assert s.timestamps["op0"] == 2
+        # op1 untouched.
+        assert s.location_of("op1") == "h1"
+
+    def test_refresh_entry_stale_rejected(self):
+        s = store()
+        s.refresh_entry("op0", "h9", timestamp=3)
+        assert not s.refresh_entry("op0", "h2", timestamp=1)
+        assert s.location_of("op0") == "h9"
+
+    def test_refresh_unknown_operator_ignored(self):
+        assert not store().refresh_entry("ghost", "h1", timestamp=1)
+
+    def test_snapshot_is_a_copy(self):
+        s = store()
+        ts, loc = s.snapshot()
+        ts["op0"] = 99
+        loc["op0"] = "mars"
+        assert s.timestamps["op0"] == 0
+        assert s.location_of("op0") == "h0"
+
+    def test_carry_from_takes_newest_entries(self):
+        a = store()
+        b = store()
+        a.record_move("op0", "h3")  # a knows op0 moved
+        b.record_move("op1", "h4")
+        b.record_move("op1", "h5")  # b knows op1 moved twice
+        a.carry_from(b)
+        assert a.location_of("op0") == "h3"  # kept own newer entry
+        assert a.location_of("op1") == "h5"  # adopted b's newer entry
+
+    def test_eventual_convergence_via_refresh(self):
+        """Two stores with incomparable vectors converge entry-wise."""
+        a, b = store(), store()
+        a.record_move("op0", "h3")
+        b.record_move("op1", "h4")
+        # Message from op0 (at h3) reaches b; from op1 (at h4) reaches a.
+        b.refresh_entry("op0", "h3", a.timestamps["op0"])
+        a.refresh_entry("op1", "h4", b.timestamps["op1"])
+        assert a.locations == b.locations

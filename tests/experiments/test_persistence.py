@@ -1,0 +1,78 @@
+"""Run-metrics persistence round-trips."""
+
+import csv
+
+import pytest
+
+from repro.engine.config import Algorithm
+from repro.engine.metrics import RelocationEvent, RunMetrics
+from repro.engine.simulation import run_simulation
+from repro.experiments.persistence import (
+    CSV_FIELDS,
+    load_runs_json,
+    metrics_from_dict,
+    metrics_to_dict,
+    save_runs_csv,
+    save_runs_json,
+)
+from tests.conftest import tiny_spec
+
+
+def sample_metrics():
+    metrics = RunMetrics(
+        algorithm="global",
+        num_servers=4,
+        images=3,
+        arrival_times=[10.0, 20.0, 30.0],
+        relocations=1,
+        planner_runs=2,
+        placements_installed=1,
+        barrier_rounds=1,
+        barrier_stall_seconds=1.5,
+        probes_sent=4,
+        probe_bytes=65536.0,
+        forwarded_messages=2,
+        bytes_on_wire=1e6,
+    )
+    metrics.relocation_events.append(RelocationEvent(12.0, "op0", "client", "h1"))
+    return metrics
+
+
+class TestDictRoundtrip:
+    def test_roundtrip_preserves_fields(self):
+        original = sample_metrics()
+        rebuilt = metrics_from_dict(metrics_to_dict(original))
+        assert rebuilt.summary() == original.summary()
+        assert rebuilt.arrival_times == original.arrival_times
+        assert rebuilt.relocation_events == original.relocation_events
+
+    def test_arrivals_optional(self):
+        payload = metrics_to_dict(sample_metrics(), include_arrivals=False)
+        assert "arrival_times" not in payload
+
+
+class TestJson:
+    def test_roundtrip_real_runs(self, tmp_path):
+        runs = [
+            run_simulation(tiny_spec(algorithm=algo, images=4))
+            for algo in (Algorithm.DOWNLOAD_ALL, Algorithm.GLOBAL)
+        ]
+        path = tmp_path / "runs.json"
+        save_runs_json(runs, path)
+        loaded = load_runs_json(path)
+        assert len(loaded) == 2
+        for original, copy in zip(runs, loaded):
+            assert copy.completion_time == original.completion_time
+            assert copy.algorithm == original.algorithm
+
+
+class TestCsv:
+    def test_csv_shape(self, tmp_path):
+        path = tmp_path / "runs.csv"
+        save_runs_csv([sample_metrics(), sample_metrics()], path)
+        with open(path, newline="") as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == 2
+        assert tuple(rows[0].keys()) == CSV_FIELDS
+        assert rows[0]["algorithm"] == "global"
+        assert float(rows[0]["completion_time"]) == 30.0

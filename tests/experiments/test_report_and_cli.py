@@ -1,0 +1,127 @@
+"""Report generation and the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import ExperimentSetup
+from repro.experiments.report import ReportOptions, ascii_curve, generate_report
+
+
+class TestAsciiCurve:
+    def test_renders_series(self):
+        chart = ascii_curve(
+            {"global": [1.0, 2.0, 4.0], "one-shot": [1.0, 1.5, 2.0]},
+            title="demo",
+        )
+        assert "demo" in chart
+        assert "configurations sorted by speedup (n=3)" in chart
+        assert "=global" in chart and "=one-shot" in chart
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_curve({})
+        with pytest.raises(ValueError):
+            ascii_curve({"x": []})
+
+    def test_flat_series_does_not_crash(self):
+        chart = ascii_curve({"flat": [2.0, 2.0, 2.0]})
+        assert "flat" in chart
+
+
+@pytest.fixture(scope="module")
+def tiny_setup():
+    return ExperimentSetup(num_servers=4, images_per_server=10)
+
+
+class TestGenerateReport:
+    def test_fig6_only_report(self, tiny_setup, tmp_path):
+        options = ReportOptions(
+            n_configs=2,
+            include_fig7=False,
+            include_fig8=False,
+            include_fig9=False,
+            include_fig10=False,
+        )
+        result = generate_report(
+            tiny_setup, options, out_dir=tmp_path, echo=lambda *a: None
+        )
+        assert "Figure 6" in result["markdown"]
+        assert (tmp_path / "report.md").exists()
+        data = json.loads((tmp_path / "report.json").read_text())
+        assert "fig6" in data
+        assert data["fig6"]["global"]["mean"] > 0
+
+    def test_report_options_scaling(self):
+        options = ReportOptions(n_configs=30)
+        assert options.configs_for("fig8") == 10
+        options = ReportOptions(n_configs=30, fig8_configs=3)
+        assert options.configs_for("fig8") == 3
+
+
+class TestCli:
+    def test_run_json(self, capsys):
+        code = main(
+            [
+                "run",
+                "--servers", "4",
+                "--images", "8",
+                "--algorithm", "download-all",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["algorithm"] == "download-all"
+        assert payload["images"] == 8
+
+    def test_run_plain(self, capsys):
+        assert main(["run", "--servers", "4", "--images", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "completion_time" in out
+
+    def test_compare(self, capsys):
+        code = main(
+            ["compare", "--servers", "4", "--images", "6", "--configs", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "download-all" in out and "global" in out
+
+    def test_figure_2(self, capsys):
+        assert main(["figure", "2"]) == 0
+        assert "change interval" in capsys.readouterr().out
+
+    def test_figure_6_small(self, capsys):
+        code = main(
+            [
+                "figure", "6",
+                "--servers", "4",
+                "--images", "6",
+                "--configs", "1",
+            ]
+        )
+        assert code == 0
+        assert "speedup over download-all" in capsys.readouterr().out
+
+    def test_study_export(self, tmp_path, capsys):
+        assert main(["study", "--out", str(tmp_path)]) == 0
+        assert (tmp_path / "trace_library.json").exists()
+
+    def test_report_command(self, tmp_path, capsys):
+        code = main(
+            [
+                "report",
+                "--servers", "4",
+                "--images", "6",
+                "--configs", "2",
+                "--out", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        assert (tmp_path / "report.md").exists()
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,79 @@
+"""Piggyback encoding/decoding and budget enforcement."""
+
+import pytest
+
+from repro.monitor.cache import BandwidthCache, CacheEntry
+from repro.monitor.piggyback import (
+    ENTRY_BYTES,
+    PIGGYBACK_BUDGET_BYTES,
+    decode_piggyback,
+    encode_piggyback,
+)
+
+
+def filled_cache(n_entries, start_time=0.0):
+    cache = BandwidthCache()
+    for i in range(n_entries):
+        cache.update(f"h{i}", f"h{i + 100}", float(i + 1), now=start_time + i)
+    return cache
+
+
+class TestEncode:
+    def test_empty_cache_encodes_to_none(self):
+        assert encode_piggyback(BandwidthCache()) is None
+
+    def test_budget_too_small_returns_none(self):
+        cache = filled_cache(3)
+        assert encode_piggyback(cache, budget=ENTRY_BYTES - 1) is None
+
+    def test_fits_within_budget(self):
+        cache = filled_cache(100)
+        payload = encode_piggyback(cache, budget=PIGGYBACK_BUDGET_BYTES)
+        max_entries = PIGGYBACK_BUDGET_BYTES // ENTRY_BYTES
+        assert len(payload["entries"]) == max_entries
+        assert payload["bytes"] == max_entries * ENTRY_BYTES
+        assert payload["bytes"] <= PIGGYBACK_BUDGET_BYTES
+
+    def test_freshest_entries_selected(self):
+        cache = filled_cache(100)
+        payload = encode_piggyback(cache, budget=2 * ENTRY_BYTES)
+        measured = [e.measured_at for e in payload["entries"]]
+        assert measured == [99.0, 98.0]
+
+    def test_small_cache_encodes_fully(self):
+        cache = filled_cache(3)
+        payload = encode_piggyback(cache)
+        assert len(payload["entries"]) == 3
+        assert payload["bytes"] == 3 * ENTRY_BYTES
+
+
+class TestDecode:
+    def test_merges_new_entries(self):
+        src = filled_cache(5)
+        dst = BandwidthCache()
+        payload = encode_piggyback(src)
+        assert decode_piggyback(dst, payload) == 5
+        assert len(dst) == 5
+
+    def test_does_not_overwrite_newer(self):
+        src = BandwidthCache()
+        src.update("a", "b", 100.0, now=1.0)
+        dst = BandwidthCache()
+        dst.update("a", "b", 500.0, now=10.0)
+        payload = encode_piggyback(src)
+        assert decode_piggyback(dst, payload) == 0
+        assert dst.lookup_any("a", "b").bandwidth == 500.0
+
+    def test_rejects_foreign_entries(self):
+        dst = BandwidthCache()
+        with pytest.raises(TypeError):
+            decode_piggyback(dst, {"entries": [("a", "b", 1.0)]})
+
+    def test_roundtrip_preserves_values(self):
+        src = filled_cache(4)
+        dst = BandwidthCache()
+        decode_piggyback(dst, encode_piggyback(src))
+        for entry in src:
+            copied = dst.lookup_any(*entry.pair)
+            assert copied.bandwidth == entry.bandwidth
+            assert copied.measured_at == entry.measured_at

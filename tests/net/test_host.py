@@ -1,0 +1,124 @@
+"""Host facilities: mailboxes, disk, CPU."""
+
+import pytest
+
+from repro.net.host import Host
+from repro.net.message import Message, MessageKind
+
+
+def make_host(env, name="h0", disk_rate=1000.0):
+    return Host(env, name, disk_rate=disk_rate)
+
+
+def msg(kind=MessageKind.DATA, priority=None, uid_tag=""):
+    return Message(kind, "src" + uid_tag, "dst", 10, priority=priority)
+
+
+class TestHost:
+    def test_disk_rate_validation(self, env):
+        with pytest.raises(ValueError):
+            Host(env, "x", disk_rate=0)
+
+    def test_disk_read_takes_size_over_rate(self, env):
+        host = make_host(env, disk_rate=1000.0)
+        finished = []
+
+        def proc(env):
+            yield from host.disk_read(500)
+            finished.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert finished == [0.5]
+
+    def test_disk_serializes_concurrent_reads(self, env):
+        host = make_host(env, disk_rate=100.0)
+        finished = []
+
+        def proc(env, tag):
+            yield from host.disk_read(100)
+            finished.append((env.now, tag))
+
+        env.process(proc(env, "a"))
+        env.process(proc(env, "b"))
+        env.run()
+        assert finished == [(1.0, "a"), (2.0, "b")]
+
+    def test_disk_read_rejects_negative(self, env):
+        host = make_host(env)
+        with pytest.raises(ValueError):
+            list(host.disk_read(-1))
+
+    def test_compute_occupies_cpu(self, env):
+        host = make_host(env)
+        finished = []
+
+        def proc(env, tag):
+            yield from host.compute(2.0)
+            finished.append((env.now, tag))
+
+        env.process(proc(env, "a"))
+        env.process(proc(env, "b"))
+        env.run()
+        assert finished == [(2.0, "a"), (4.0, "b")]
+
+    def test_compute_rejects_negative(self, env):
+        with pytest.raises(ValueError):
+            list(make_host(env).compute(-0.1))
+
+
+class TestMailbox:
+    def test_priority_delivery(self, env):
+        host = make_host(env)
+        box = host.mailbox("actor")
+        got = []
+
+        def consumer(env):
+            yield env.timeout(1)
+            for _ in range(3):
+                message = yield box.get()
+                got.append(message.kind)
+
+        box.deliver(msg(MessageKind.DATA))
+        box.deliver(msg(MessageKind.DEMAND))
+        box.deliver(msg(MessageKind.BARRIER))
+        env.process(consumer(env))
+        env.run()
+        assert got == [MessageKind.BARRIER, MessageKind.DEMAND, MessageKind.DATA]
+
+    def test_mailbox_get_unwraps_message(self, env):
+        host = make_host(env)
+        box = host.mailbox("a")
+        original = msg()
+        box.deliver(original)
+        received = []
+
+        def consumer(env):
+            message = yield box.get()
+            received.append(message)
+
+        env.process(consumer(env))
+        env.run()
+        assert received == [original]
+
+    def test_mailbox_created_once(self, env):
+        host = make_host(env)
+        assert host.mailbox("a") is host.mailbox("a")
+
+    def test_remove_mailbox_returns_pending(self, env):
+        host = make_host(env)
+        box = host.mailbox("a")
+        m1, m2 = msg(uid_tag="1"), msg(uid_tag="2")
+        box.deliver(m1)
+        box.deliver(m2)
+        env.run()
+        drained = host.remove_mailbox("a")
+        assert drained == [m1, m2]
+        assert host.remove_mailbox("a") == []  # already gone
+
+    def test_len(self, env):
+        host = make_host(env)
+        box = host.mailbox("a")
+        box.deliver(msg())
+        env.run()
+        assert len(box) == 1

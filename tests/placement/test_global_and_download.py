@@ -1,0 +1,78 @@
+"""Download-all placement and the global planner wrapper."""
+
+import pytest
+
+from repro.dataflow.cost import CostModel, expected_output_sizes
+from repro.dataflow.critical import placement_cost
+from repro.dataflow.tree import complete_binary_tree
+from repro.placement import (
+    GlobalPlanner,
+    OneShotPlanner,
+    download_all_placement,
+)
+
+TREE = complete_binary_tree(4)
+SERVER_HOSTS = {f"s{i}": f"h{i}" for i in range(4)}
+HOSTS = [f"h{i}" for i in range(4)] + ["client"]
+
+
+def model():
+    return CostModel(TREE, expected_output_sizes(TREE, 128 * 1024, 0.25))
+
+
+def flat(rate):
+    return lambda a, b: float("inf") if a == b else rate
+
+
+class TestDownloadAll:
+    def test_places_all_operators_at_client(self):
+        placement = download_all_placement(TREE, SERVER_HOSTS, "client")
+        assert all(
+            placement.host_of(op.node_id) == "client" for op in TREE.operators()
+        )
+
+
+class TestGlobalPlanner:
+    def test_warm_start_from_current(self):
+        cm = model()
+        planner = GlobalPlanner(TREE, HOSTS, cm)
+        dl = download_all_placement(TREE, SERVER_HOSTS, "client")
+        first = planner.plan(flat(10 * 1024.0), dl)
+        # From its own output, planning again cannot regress.
+        second = planner.plan(flat(10 * 1024.0), first.placement)
+        assert second.cost <= first.cost * (1 + 1e-9)
+
+    def test_matches_one_shot_procedure(self):
+        """§2.2: the global planner IS the one-shot procedure with a
+        different initialization."""
+        cm = model()
+        dl = download_all_placement(TREE, SERVER_HOSTS, "client")
+        one_shot = OneShotPlanner(TREE, HOSTS, cm).plan(flat(8 * 1024.0), dl)
+        global_plan = GlobalPlanner(TREE, HOSTS, cm).plan(flat(8 * 1024.0), dl)
+        assert one_shot.placement == global_plan.placement
+
+    def test_adapts_to_changed_bandwidths(self):
+        cm = model()
+        planner = GlobalPlanner(TREE, HOSTS, cm)
+        dl = download_all_placement(TREE, SERVER_HOSTS, "client")
+        stable = planner.plan(flat(10 * 1024.0), dl).placement
+
+        def degraded(a, b):
+            if a == b:
+                return float("inf")
+            # Every host used by the current placement except pinned ones
+            # becomes slow; somewhere else is now better.
+            if "h0" in (a, b):
+                return 128.0
+            return 10 * 1024.0
+
+        replanned = planner.plan(degraded, stable)
+        cost_if_stayed = placement_cost(TREE, stable, cm, degraded)
+        assert replanned.cost <= cost_if_stayed
+
+    def test_exposes_cost_model_and_hosts(self):
+        cm = model()
+        planner = GlobalPlanner(TREE, HOSTS, cm)
+        assert planner.cost_model is cm
+        assert set(planner.hosts) == set(HOSTS)
+        assert planner.tree is TREE

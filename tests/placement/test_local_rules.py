@@ -1,0 +1,169 @@
+"""Local algorithm decision rules (§2.3)."""
+
+import pytest
+
+from repro.placement.local_rules import (
+    choose_local_site,
+    is_on_critical_path,
+    local_path_cost,
+)
+
+
+def flat(rate):
+    return lambda a, b: float("inf") if a == b else rate
+
+
+class TestIsOnCriticalPath:
+    def test_majority_rule(self):
+        assert is_on_critical_path(6, 10, True)
+        assert not is_on_critical_path(5, 10, True)  # exactly half: no
+
+    def test_requires_consumer_on_path(self):
+        assert not is_on_critical_path(10, 10, False)
+
+    def test_no_dispatches_means_no(self):
+        assert not is_on_critical_path(0, 0, True)
+
+    def test_in_flight_mark_overflow_tolerated(self):
+        # Marks ride on the consumer's next demand, so they can exceed
+        # the dispatch count by one at an epoch boundary.
+        assert is_on_critical_path(10, 9, True)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            is_on_critical_path(-1, 5, True)
+        with pytest.raises(ValueError):
+            is_on_critical_path(1, -5, True)
+
+
+class TestLocalPathCost:
+    def test_all_colocated_is_compute_only(self):
+        cost = local_path_cost(
+            site="h0",
+            producer_hosts=["h0", "h0"],
+            producer_sizes=[100.0, 100.0],
+            consumer_host="h0",
+            output_size=100.0,
+            estimator=flat(10.0),
+            startup_cost=0.05,
+            compute_seconds=2.0,
+        )
+        assert cost == pytest.approx(2.0)
+
+    def test_max_over_producers(self):
+        cost = local_path_cost(
+            site="x",
+            producer_hosts=["p1", "p2"],
+            producer_sizes=[100.0, 1000.0],
+            consumer_host="c",
+            output_size=1000.0,
+            estimator=flat(10.0),
+            startup_cost=0.0,
+        )
+        # slower input (100 s) + output (100 s)
+        assert cost == pytest.approx(100.0 + 100.0)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            local_path_cost(
+                "x", ["p1"], [1.0, 2.0], "c", 1.0, flat(1.0), 0.0
+            )
+
+
+class TestChooseLocalSite:
+    def test_prefers_consumer_when_output_dominates(self):
+        # Large output, tiny inputs: sitting at the consumer removes the
+        # expensive output edge.
+        decision = choose_local_site(
+            current_host="x",
+            producer_hosts=["p1", "p2"],
+            producer_sizes=[10.0, 10.0],
+            consumer_host="c",
+            output_size=10000.0,
+            estimator=flat(10.0),
+            startup_cost=0.0,
+        )
+        assert decision.best_site == "c"
+        assert decision.should_move
+
+    def test_avoids_paying_a_bad_link_twice(self):
+        # p1 sits behind a terrible link, so its data costs 1000 s no
+        # matter what; the winner avoids routing the *output* through
+        # that link too (anywhere but p1; the consumer is cheapest).
+        def estimator(a, b):
+            if a == b:
+                return float("inf")
+            if "p1" in (a, b):
+                return 1.0
+            return 1000.0
+
+        decision = choose_local_site(
+            current_host="x",
+            producer_hosts=["p1", "p2"],
+            producer_sizes=[1000.0, 1000.0],
+            consumer_host="c",
+            output_size=1000.0,
+            estimator=estimator,
+            startup_cost=0.0,
+        )
+        assert decision.best_site == "c"
+        assert decision.costs["p1"] > decision.costs["c"]
+
+    def test_stays_when_current_is_best(self):
+        decision = choose_local_site(
+            current_host="c",
+            producer_hosts=["p1", "p2"],
+            producer_sizes=[10.0, 10.0],
+            consumer_host="c",
+            output_size=10000.0,
+            estimator=flat(10.0),
+            startup_cost=0.0,
+        )
+        assert decision.best_site == "c"
+        assert not decision.should_move
+
+    def test_extra_candidates_considered(self):
+        def estimator(a, b):
+            if a == b:
+                return float("inf")
+            if "magic" in (a, b):
+                return 1e9  # the extra site has perfect links
+            return 1.0
+
+        decision = choose_local_site(
+            current_host="x",
+            producer_hosts=["p1", "p2"],
+            producer_sizes=[100.0, 100.0],
+            consumer_host="c",
+            output_size=100.0,
+            estimator=estimator,
+            startup_cost=0.0,
+            extra_candidates=["magic"],
+        )
+        assert decision.best_site == "magic"
+
+    def test_costs_reported_for_all_candidates(self):
+        decision = choose_local_site(
+            current_host="x",
+            producer_hosts=["p1", "p2"],
+            producer_sizes=[1.0, 1.0],
+            consumer_host="c",
+            output_size=1.0,
+            estimator=flat(10.0),
+            startup_cost=0.0,
+        )
+        assert set(decision.costs) == {"x", "p1", "p2", "c"}
+
+    def test_tie_breaks_toward_current(self):
+        # All sites equivalent: no move.
+        decision = choose_local_site(
+            current_host="x",
+            producer_hosts=["x", "x"],
+            producer_sizes=[0.0, 0.0],
+            consumer_host="x",
+            output_size=0.0,
+            estimator=flat(10.0),
+            startup_cost=0.0,
+        )
+        assert decision.best_site == "x"
+        assert not decision.should_move

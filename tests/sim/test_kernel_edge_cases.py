@@ -1,0 +1,112 @@
+"""Kernel edge cases beyond the basic semantics suite."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Environment, Interrupt, Resource
+from repro.sim.errors import SimulationError
+
+
+class TestNestedConditions:
+    def test_all_of_any_of(self, env):
+        done = []
+
+        def proc(env):
+            first_pair = AnyOf(env, [env.timeout(5), env.timeout(9)])
+            second_pair = AnyOf(env, [env.timeout(7), env.timeout(20)])
+            yield AllOf(env, [first_pair, second_pair])
+            done.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert done == [7]
+
+    def test_condition_over_processes(self, env):
+        def worker(env, delay, value):
+            yield env.timeout(delay)
+            return value
+
+        results = []
+
+        def coordinator(env):
+            a = env.process(worker(env, 2, "a"))
+            b = env.process(worker(env, 4, "b"))
+            value = yield AllOf(env, [a, b])
+            results.append((value[a], value[b], env.now))
+
+        env.process(coordinator(env))
+        env.run()
+        assert results == [("a", "b", 4)]
+
+
+class TestInterruptDuringResourceWait:
+    def test_interrupted_waiter_leaves_queue(self, env):
+        resource = Resource(env)
+        order = []
+
+        def holder(env):
+            with resource.request() as req:
+                yield req
+                yield env.timeout(10)
+
+        def victim(env):
+            request = resource.request()
+            try:
+                yield request
+                order.append("victim-acquired")
+            except Interrupt:
+                resource.release(request)
+                order.append("victim-gone")
+
+        def third(env):
+            yield env.timeout(2)
+            with resource.request() as req:
+                yield req
+                order.append(("third", env.now))
+
+        env.process(holder(env))
+        v = env.process(victim(env))
+        env.process(third(env))
+
+        def attacker(env):
+            yield env.timeout(1)
+            v.interrupt()
+
+        env.process(attacker(env))
+        env.run()
+        # The interrupted victim withdrew; third gets the slot at t=10.
+        assert order == ["victim-gone", ("third", 10.0)]
+
+
+class TestRunSemantics:
+    def test_run_until_failed_process_raises(self, env):
+        def crasher(env):
+            yield env.timeout(1)
+            raise RuntimeError("expected")
+
+        p = env.process(crasher(env))
+        with pytest.raises(RuntimeError, match="expected"):
+            env.run(until=p)
+
+    def test_environment_isolated(self):
+        env_a, env_b = Environment(), Environment()
+
+        def proc(env):
+            yield env.timeout(5)
+
+        env_a.process(proc(env_a))
+        env_b.process(proc(env_b))
+        env_a.run()
+        assert env_a.now == 5
+        assert env_b.now == 0  # untouched
+
+    def test_stop_from_callback(self, env):
+        t = env.timeout(3)
+        t.callbacks.append(lambda event: env.stop("early"))
+        env.timeout(100)
+        assert env.run() == "early"
+        assert env.now == 3
+
+    def test_peek(self, env):
+        assert env.peek() == float("inf")
+        env.timeout(7)
+        assert env.peek() == 7

@@ -1,0 +1,184 @@
+"""Resource and PriorityResource semantics."""
+
+import pytest
+
+from repro.sim import Environment, PriorityResource, Resource
+
+
+def hold(env, resource, log, tag, duration, priority=None):
+    request = (
+        resource.request()
+        if priority is None
+        else resource.request(priority=priority)
+    )
+    with request as req:
+        yield req
+        log.append((env.now, tag))
+        yield env.timeout(duration)
+
+
+class TestResource:
+    def test_capacity_must_be_positive(self, env):
+        with pytest.raises(ValueError):
+            Resource(env, capacity=0)
+
+    def test_immediate_grant_when_free(self, env):
+        res = Resource(env)
+        log = []
+        env.process(hold(env, res, log, "a", 1))
+        env.run()
+        assert log == [(0.0, "a")]
+
+    def test_fifo_order(self, env):
+        res = Resource(env)
+        log = []
+
+        def spawn(env):
+            env.process(hold(env, res, log, "a", 10))
+            yield env.timeout(1)
+            env.process(hold(env, res, log, "b", 10))
+            yield env.timeout(1)
+            env.process(hold(env, res, log, "c", 10))
+
+        env.process(spawn(env))
+        env.run()
+        assert log == [(0.0, "a"), (10.0, "b"), (20.0, "c")]
+
+    def test_capacity_two_runs_concurrently(self, env):
+        res = Resource(env, capacity=2)
+        log = []
+        env.process(hold(env, res, log, "a", 10))
+        env.process(hold(env, res, log, "b", 10))
+        env.process(hold(env, res, log, "c", 10))
+        env.run()
+        assert log == [(0.0, "a"), (0.0, "b"), (10.0, "c")]
+
+    def test_count_and_queue_length(self, env):
+        res = Resource(env)
+        observed = []
+
+        def observer(env):
+            yield env.timeout(0.5)
+            observed.append((res.count, res.queue_length))
+
+        env.process(hold(env, res, [], "a", 5))
+        env.process(hold(env, res, [], "b", 5))
+        env.process(observer(env))
+        env.run()
+        assert observed == [(1, 1)]
+
+    def test_release_without_grant_is_noop(self, env):
+        res = Resource(env)
+        req = res.request()
+        res.release(req)
+        res.release(req)  # double release tolerated
+
+    def test_context_manager_releases_on_exception(self, env):
+        res = Resource(env)
+        log = []
+
+        def crasher(env):
+            with res.request() as req:
+                yield req
+                raise RuntimeError("die")
+
+        def follower(env):
+            yield env.timeout(1)
+            yield from hold(env, res, log, "next", 1)
+
+        p = env.process(crasher(env))
+
+        def supervisor(env):
+            try:
+                yield p
+            except RuntimeError:
+                pass
+
+        env.process(supervisor(env))
+        env.process(follower(env))
+        env.run()
+        assert log == [(1.0, "next")]
+
+    def test_queued_request_can_be_cancelled(self, env):
+        res = Resource(env)
+        log = []
+
+        def canceller(env):
+            req = res.request()
+            yield env.timeout(1)  # still queued behind holder
+            res.release(req)
+
+        env.process(hold(env, res, log, "holder", 10))
+        env.process(canceller(env))
+        env.process(hold(env, res, log, "after", 1))
+        env.run()
+        # "after" was queued third but runs second because the middle
+        # request withdrew.
+        assert log == [(0.0, "holder"), (10.0, "after")]
+
+
+class TestPriorityResource:
+    def test_lower_priority_value_served_first(self, env):
+        res = PriorityResource(env)
+        log = []
+
+        def spawn(env):
+            env.process(hold(env, res, log, "first", 10, priority=5))
+            yield env.timeout(1)
+            env.process(hold(env, res, log, "bulk", 10, priority=5))
+            env.process(hold(env, res, log, "urgent", 10, priority=0))
+
+        env.process(spawn(env))
+        env.run()
+        assert [tag for _, tag in log] == ["first", "urgent", "bulk"]
+
+    def test_fifo_within_priority_class(self, env):
+        res = PriorityResource(env)
+        log = []
+
+        def spawn(env):
+            env.process(hold(env, res, log, "holder", 5, priority=1))
+            yield env.timeout(1)
+            for tag in ("a", "b", "c"):
+                env.process(hold(env, res, log, tag, 1, priority=3))
+
+        env.process(spawn(env))
+        env.run()
+        assert [tag for _, tag in log] == ["holder", "a", "b", "c"]
+
+    def test_no_preemption_of_running_holder(self, env):
+        res = PriorityResource(env)
+        log = []
+
+        def spawn(env):
+            env.process(hold(env, res, log, "bulk", 10, priority=9))
+            yield env.timeout(1)
+            env.process(hold(env, res, log, "vip", 1, priority=0))
+
+        env.process(spawn(env))
+        env.run()
+        assert log == [(0.0, "bulk"), (10.0, "vip")]
+
+    def test_withdrawn_priority_request_skipped(self, env):
+        res = PriorityResource(env)
+        log = []
+
+        def canceller(env):
+            req = res.request(priority=0)
+            yield env.timeout(1)
+            res.release(req)
+
+        env.process(hold(env, res, log, "holder", 5, priority=1))
+        env.process(canceller(env))
+        env.process(hold(env, res, log, "b", 1, priority=2))
+        env.run()
+        assert [tag for _, tag in log] == ["holder", "b"]
+
+    def test_queue_length_excludes_withdrawn(self, env):
+        res = PriorityResource(env)
+        holder = res.request(priority=0)
+        q1 = res.request(priority=1)
+        assert res.queue_length == 1
+        res.release(q1)
+        assert res.queue_length == 0
+        res.release(holder)

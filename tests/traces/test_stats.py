@@ -1,0 +1,68 @@
+"""Change-interval analysis and trace statistics."""
+
+import numpy as np
+import pytest
+
+from repro.traces import BandwidthTrace, trace_stats
+from repro.traces.stats import change_intervals, library_change_interval
+
+
+class TestChangeIntervals:
+    def test_constant_trace_has_no_changes(self):
+        trace = BandwidthTrace([0, 10, 20], [100, 100, 100])
+        assert change_intervals(trace).size == 0
+
+    def test_single_big_change_detected(self):
+        trace = BandwidthTrace([0, 10, 20], [100, 100, 200])
+        intervals = change_intervals(trace)
+        assert list(intervals) == [20.0]
+
+    def test_small_fluctuations_ignored(self):
+        trace = BandwidthTrace([0, 10, 20, 30], [100, 105, 95, 102])
+        assert change_intervals(trace, threshold=0.10).size == 0
+
+    def test_reference_resets_after_change(self):
+        # 100 -> 120 (change at t=10) -> 130 (only +8% vs 120: no change)
+        trace = BandwidthTrace([0, 10, 20], [100, 120, 129])
+        intervals = change_intervals(trace)
+        assert list(intervals) == [10.0]
+
+    def test_drop_counts_as_change(self):
+        trace = BandwidthTrace([0, 5], [100, 80])
+        assert list(change_intervals(trace)) == [5.0]
+
+    def test_threshold_validation(self):
+        trace = BandwidthTrace([0], [1])
+        with pytest.raises(ValueError):
+            change_intervals(trace, threshold=0.0)
+        with pytest.raises(ValueError):
+            change_intervals(trace, threshold=1.0)
+
+
+class TestTraceStats:
+    def test_summary_fields(self):
+        trace = BandwidthTrace([0, 10, 20], [100, 300, 200], name="x")
+        stats = trace_stats(trace)
+        assert stats.name == "x"
+        assert stats.mean_rate == pytest.approx(200.0)
+        assert stats.median_rate == pytest.approx(200.0)
+        assert stats.min_rate == 100.0
+        assert stats.max_rate == 300.0
+        assert stats.n_changes == 2
+        assert stats.cv > 0
+
+    def test_nan_interval_when_no_changes(self):
+        trace = BandwidthTrace([0, 10], [5, 5])
+        stats = trace_stats(trace)
+        assert np.isnan(stats.mean_change_interval)
+
+
+class TestLibraryChangeInterval:
+    def test_pooled_mean(self):
+        a = BandwidthTrace([0, 10, 20], [100, 200, 400])  # intervals 10, 10
+        b = BandwidthTrace([0, 30], [100, 200])  # interval 30
+        assert library_change_interval([a, b]) == pytest.approx((10 + 10 + 30) / 3)
+
+    def test_all_constant_gives_nan(self):
+        a = BandwidthTrace([0, 10], [5, 5])
+        assert np.isnan(library_change_interval([a]))

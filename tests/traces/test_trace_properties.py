@@ -1,0 +1,89 @@
+"""Property-based tests of trace integration (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traces import BandwidthTrace
+
+
+@st.composite
+def traces(draw):
+    n = draw(st.integers(min_value=1, max_value=20))
+    deltas = draw(
+        st.lists(
+            st.floats(min_value=0.01, max_value=1e4),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    times = np.cumsum(deltas)
+    rates = draw(
+        st.lists(
+            st.floats(min_value=1.0, max_value=1e8),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return BandwidthTrace(times, rates)
+
+
+@given(
+    trace=traces(),
+    nbytes=st.floats(min_value=0, max_value=1e9),
+    start=st.floats(min_value=-1e4, max_value=1e6),
+)
+@settings(max_examples=120, deadline=None)
+def test_transfer_time_inverts_bytes_between(trace, nbytes, start):
+    duration = trace.transfer_time(nbytes, start)
+    assert duration >= 0
+    delivered = trace.bytes_between(start, start + duration)
+    # ``start + duration`` rounds to the double grid, which at large start
+    # values costs up to ~1e-11 s -> a fraction of a byte at high rates;
+    # a tenth of a byte is far below anything the simulation resolves.
+    assert np.isclose(delivered, nbytes, rtol=1e-3, atol=0.1)
+
+
+@given(
+    trace=traces(),
+    a=st.floats(min_value=0, max_value=1e5),
+    b=st.floats(min_value=0, max_value=1e5),
+    start=st.floats(min_value=0, max_value=1e5),
+)
+@settings(max_examples=100, deadline=None)
+def test_transfer_time_monotone_in_size(trace, a, b, start):
+    small, large = sorted((a, b))
+    t_small = trace.transfer_time(small, start)
+    t_large = trace.transfer_time(large, start)
+    assert t_small <= t_large * (1 + 1e-9) + 1e-9
+
+
+@given(trace=traces(), t0=st.floats(min_value=0, max_value=1e5), span=st.floats(min_value=0.1, max_value=1e5))
+@settings(max_examples=100, deadline=None)
+def test_mean_rate_within_observed_bounds(trace, t0, span):
+    mean = trace.mean_rate(t0, t0 + span)
+    lo, hi = trace.rates.min(), trace.rates.max()
+    assert lo * (1 - 1e-6) - 1e-6 <= mean <= hi * (1 + 1e-6) + 1e-6
+
+
+@given(trace=traces(), offset=st.floats(min_value=-1e6, max_value=1e6))
+@settings(max_examples=60, deadline=None)
+def test_shift_preserves_relative_queries(trace, offset):
+    shifted = trace.shifted(offset)
+    # Probe at segment midpoints computed per trace, so float rounding of
+    # ``probe + offset`` cannot flip a query across a step boundary.
+    assert len(shifted) == len(trace)
+    for i in range(len(trace) - 1):
+        mid = (trace.times[i] + trace.times[i + 1]) / 2.0
+        shifted_mid = (shifted.times[i] + shifted.times[i + 1]) / 2.0
+        assert shifted.rate_at(shifted_mid) == trace.rate_at(mid)
+    assert shifted.rates[-1] == trace.rates[-1]
+
+
+@given(trace=traces())
+@settings(max_examples=60, deadline=None)
+def test_bytes_between_additive(trace):
+    t0, t1, t2 = trace.start, trace.start + trace.duration / 3, trace.end
+    total = trace.bytes_between(t0, t2)
+    split = trace.bytes_between(t0, t1) + trace.bytes_between(t1, t2)
+    assert np.isclose(total, split, rtol=1e-9, atol=1e-6)

@@ -1,0 +1,118 @@
+"""Trace transformations: resample, clip, stitch, import."""
+
+import numpy as np
+import pytest
+
+from repro.traces import BandwidthTrace, constant_trace
+from repro.traces.transform import (
+    clip_rates,
+    load_trace_measurements,
+    resample,
+    stitch,
+)
+
+
+class TestResample:
+    def test_preserves_bucket_means(self):
+        trace = BandwidthTrace([0, 10, 20, 30], [100, 200, 400, 400])
+        regular = resample(trace, period=20.0)
+        assert regular.rate_at(0) == pytest.approx(150.0)  # mean of 100,200
+        assert regular.rate_at(25) == pytest.approx(400.0)
+
+    def test_preserves_total_bytes_approximately(self):
+        rng = np.random.default_rng(0)
+        times = np.cumsum(rng.uniform(1, 20, size=50))
+        rates = rng.uniform(10, 1000, size=50)
+        trace = BandwidthTrace(times, rates)
+        regular = resample(trace, period=7.0)
+        original = trace.bytes_between(trace.start, trace.end)
+        regularized = regular.bytes_between(trace.start, trace.end)
+        assert regularized == pytest.approx(original, rel=0.15)
+
+    def test_single_sample_passthrough(self):
+        trace = constant_trace(100.0)
+        assert resample(trace, 10.0).rate_at(0) == 100.0
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            resample(constant_trace(1.0), 0.0)
+
+
+class TestClip:
+    def test_bounds_applied(self):
+        trace = BandwidthTrace([0, 1, 2], [5.0, 500.0, 50.0])
+        clipped = clip_rates(trace, lo=10.0, hi=100.0)
+        assert list(clipped.rates) == [10.0, 100.0, 50.0]
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            clip_rates(constant_trace(1.0), lo=5.0, hi=1.0)
+
+
+class TestStitch:
+    def test_concatenates_in_time(self):
+        day1 = BandwidthTrace([0, 10], [100, 200], name="pair")
+        day2 = BandwidthTrace([0, 10], [300, 400])
+        joined = stitch([day1, day2])
+        assert joined.rate_at(5) == 100
+        assert joined.rate_at(12) == 300
+        assert joined.end == 20
+        assert joined.name == "pair"
+
+    def test_gap_inserted(self):
+        day1 = BandwidthTrace([0, 10], [100, 200])
+        day2 = BandwidthTrace([0, 10], [300, 400])
+        joined = stitch([day1, day2], gap=5.0)
+        assert joined.rate_at(12) == 200  # still day1's final rate
+        assert joined.rate_at(16) == 300
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            stitch([])
+        with pytest.raises(ValueError):
+            stitch([constant_trace(1.0)], gap=-1)
+
+
+class TestLoadMeasurements:
+    def write(self, tmp_path, text):
+        path = tmp_path / "log.txt"
+        path.write_text(text)
+        return path
+
+    def test_basic_parse(self, tmp_path):
+        path = self.write(tmp_path, "0 100\n30 250.5\n60 90\n")
+        trace = load_trace_measurements(path)
+        assert list(trace.times) == [0.0, 30.0, 60.0]
+        assert trace.rate_at(30) == 250.5
+
+    def test_comments_and_blanks_ignored(self, tmp_path):
+        path = self.write(
+            tmp_path, "# sensor log\n\n0 100  # first\n30 200\n"
+        )
+        trace = load_trace_measurements(path)
+        assert len(trace) == 2
+
+    def test_unit_scale(self, tmp_path):
+        path = self.write(tmp_path, "0 8\n")  # 8 megabits/s
+        trace = load_trace_measurements(path, unit_scale=125000.0)
+        assert trace.rate_at(0) == 1_000_000.0
+
+    def test_out_of_order_sorted(self, tmp_path):
+        path = self.write(tmp_path, "30 200\n0 100\n")
+        trace = load_trace_measurements(path)
+        assert list(trace.times) == [0.0, 30.0]
+
+    def test_duplicate_timestamps_keep_last(self, tmp_path):
+        path = self.write(tmp_path, "0 100\n0 900\n30 200\n")
+        trace = load_trace_measurements(path)
+        assert trace.rate_at(0) == 900.0
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = self.write(tmp_path, "0\n")
+        with pytest.raises(ValueError):
+            load_trace_measurements(path)
+
+    def test_empty_rejected(self, tmp_path):
+        path = self.write(tmp_path, "# nothing\n")
+        with pytest.raises(ValueError):
+            load_trace_measurements(path)
