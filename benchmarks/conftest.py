@@ -2,9 +2,13 @@
 
 Every benchmark regenerates one of the paper's tables/figures.  The
 number of network configurations defaults to a laptop-friendly subset;
-set ``REPRO_CONFIGS`` (the paper uses 300) to scale any benchmark up:
+set ``REPRO_CONFIGS`` (the paper uses 300) to scale any benchmark up,
+and ``REPRO_WORKERS`` to fan the sweeps out over a process pool (the
+figure functions resolve it via
+:func:`repro.experiments.resolve_workers`, so the env var alone is
+enough — results are bit-identical to serial at any worker count):
 
-    REPRO_CONFIGS=300 pytest benchmarks/ --benchmark-only -s
+    REPRO_CONFIGS=300 REPRO_WORKERS=8 pytest benchmarks/ --benchmark-only -s
 """
 
 from __future__ import annotations
@@ -13,7 +17,7 @@ import os
 
 import pytest
 
-from repro.experiments import ExperimentSetup
+from repro.experiments import ExperimentSetup, resolve_workers
 
 
 def configured_configs(default: int) -> int:
@@ -30,6 +34,11 @@ def configured_configs(default: int) -> int:
         raise ValueError("REPRO_CONFIGS must be positive")
     # Scale the figure's default proportionally to fig6's default of 30.
     return max(2, round(default * requested / 30))
+
+
+def configured_workers() -> int:
+    """Sweep worker count, from ``REPRO_WORKERS`` (default 1 = serial)."""
+    return resolve_workers(None)
 
 
 @pytest.fixture(scope="session")

@@ -11,7 +11,7 @@ relocation period.  The paper's headline numbers:
   -> 22 (local) -> 17.1 (global).
 """
 
-from benchmarks.conftest import configured_configs, show
+from benchmarks.conftest import configured_configs, configured_workers, show
 from repro.experiments import fig6_main_comparison
 
 
@@ -21,7 +21,7 @@ def test_fig6_main_comparison(benchmark, paper_setup):
     result = benchmark.pedantic(
         fig6_main_comparison,
         args=(paper_setup,),
-        kwargs={"n_configs": n_configs},
+        kwargs={"n_configs": n_configs, "workers": configured_workers()},
         rounds=1,
         iterations=1,
     )

@@ -63,6 +63,13 @@ def _add_setup_arguments(parser: argparse.ArgumentParser) -> None:
                         help="relocation period in seconds (default 600)")
 
 
+def _add_workers_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="parallel sweep workers (default: $REPRO_WORKERS, else serial; "
+             "0 = one per CPU)")
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     setup = _setup_from(args)
     metrics = run_configuration(
@@ -96,7 +103,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
         )
 
     summaries = compare_algorithms(
-        setup, algorithms, args.configs, progress=progress
+        setup, algorithms, args.configs, progress=progress, workers=args.workers
     )
     if args.out:
         from repro.experiments.persistence import save_runs_csv, save_runs_json
@@ -138,12 +145,18 @@ def cmd_figure(args: argparse.Namespace) -> int:
               f"{library_change_interval(library.all_traces()):.0f} s "
               "(paper: ~120 s)")
         return 0
+    workers = args.workers
     producers = {
-        6: lambda: fig6_main_comparison(setup, n_configs=args.configs),
-        7: lambda: fig7_extra_sites(setup, n_configs=args.configs),
-        8: lambda: fig8_server_scaling(setup, n_configs=args.configs),
-        9: lambda: fig9_relocation_period(setup, n_configs=args.configs),
-        10: lambda: fig10_tree_shape(setup, n_configs=args.configs),
+        6: lambda: fig6_main_comparison(
+            setup, n_configs=args.configs, workers=workers),
+        7: lambda: fig7_extra_sites(
+            setup, n_configs=args.configs, workers=workers),
+        8: lambda: fig8_server_scaling(
+            setup, n_configs=args.configs, workers=workers),
+        9: lambda: fig9_relocation_period(
+            setup, n_configs=args.configs, workers=workers),
+        10: lambda: fig10_tree_shape(
+            setup, n_configs=args.configs, workers=workers),
     }
     result = producers[number]()
     print(result.format_table())
@@ -167,7 +180,7 @@ def cmd_study(args: argparse.Namespace) -> int:
 
 def cmd_report(args: argparse.Namespace) -> int:
     setup = _setup_from(args)
-    options = ReportOptions(n_configs=args.configs)
+    options = ReportOptions(n_configs=args.configs, workers=args.workers)
     generate_report(setup, options, out_dir=args.out)
     return 0
 
@@ -191,6 +204,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     compare = sub.add_parser("compare", help="all four algorithms, N configs")
     _add_setup_arguments(compare)
+    _add_workers_argument(compare)
     compare.add_argument("--configs", type=int, default=5)
     compare.add_argument("--out", default=None,
                          help="archive per-run metrics (.json or .csv)")
@@ -199,6 +213,7 @@ def build_parser() -> argparse.ArgumentParser:
     figure = sub.add_parser("figure", help="regenerate one paper figure")
     figure.add_argument("number", type=int, choices=(2, 6, 7, 8, 9, 10))
     _add_setup_arguments(figure)
+    _add_workers_argument(figure)
     figure.add_argument("--configs", type=int, default=10)
     figure.set_defaults(func=cmd_figure)
 
@@ -209,6 +224,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     report = sub.add_parser("report", help="full evaluation -> report.md/json")
     _add_setup_arguments(report)
+    _add_workers_argument(report)
     report.add_argument("--configs", type=int, default=30)
     report.add_argument("--out", default="report")
     report.set_defaults(func=cmd_report)

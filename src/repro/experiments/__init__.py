@@ -15,6 +15,7 @@ participating hosts.  This package reproduces that methodology:
 """
 
 from repro.experiments.config import ExperimentSetup, build_spec, make_configuration
+from repro.experiments.parallel import resolve_workers, run_sweep
 from repro.experiments.runner import (
     AlgorithmSummary,
     compare_algorithms,
@@ -50,6 +51,8 @@ __all__ = [
     "fig8_server_scaling",
     "fig9_relocation_period",
     "make_configuration",
+    "resolve_workers",
     "run_configuration",
+    "run_sweep",
     "speedup_series",
 ]

@@ -15,10 +15,10 @@ import numpy as np
 
 from repro.engine.config import Algorithm
 from repro.experiments.config import ExperimentSetup
+from repro.experiments.parallel import run_sweep
 from repro.experiments.runner import (
     AlgorithmSummary,
     compare_algorithms,
-    run_configuration,
     speedup_series,
 )
 
@@ -108,7 +108,9 @@ class Fig6Result:
 
 
 def fig6_main_comparison(
-    setup: Optional[ExperimentSetup] = None, n_configs: int = 300
+    setup: Optional[ExperimentSetup] = None,
+    n_configs: int = 300,
+    workers: Optional[int] = None,
 ) -> Fig6Result:
     """Reproduce Figure 6 and the §5 inter-arrival table."""
     setup = setup or ExperimentSetup()
@@ -118,7 +120,7 @@ def fig6_main_comparison(
         Algorithm.LOCAL,
         Algorithm.GLOBAL,
     ]
-    summaries = compare_algorithms(setup, algorithms, n_configs)
+    summaries = compare_algorithms(setup, algorithms, n_configs, workers=workers)
     baseline = summaries[Algorithm.DOWNLOAD_ALL.value]
     return Fig6Result(
         one_shot_speedups=speedup_series(
@@ -164,22 +166,24 @@ def fig7_extra_sites(
     setup: Optional[ExperimentSetup] = None,
     n_configs: int = 300,
     ks: Sequence[int] = (0, 1, 2, 3, 4, 5, 6),
+    workers: Optional[int] = None,
 ) -> Fig7Result:
     """Reproduce Figure 7."""
     setup = setup or ExperimentSetup()
     mean_speedups = []
     for k in ks:
+        tasks = []
+        for index in range(n_configs):
+            tasks.append((index, Algorithm.DOWNLOAD_ALL))
+            tasks.append(
+                (index, Algorithm.LOCAL, {"local_extra_candidates": k})
+            )
+        results = run_sweep(setup, tasks, workers=workers)
         baseline = AlgorithmSummary(Algorithm.DOWNLOAD_ALL.value)
         local = AlgorithmSummary(Algorithm.LOCAL.value)
         for index in range(n_configs):
-            baseline.add(
-                run_configuration(setup, index, Algorithm.DOWNLOAD_ALL)
-            )
-            local.add(
-                run_configuration(
-                    setup, index, Algorithm.LOCAL, local_extra_candidates=k
-                )
-            )
+            baseline.add(results[(index, Algorithm.DOWNLOAD_ALL.value)])
+            local.add(results[(index, Algorithm.LOCAL.value)])
         mean_speedups.append(float(np.mean(speedup_series(local, baseline))))
     return Fig7Result(ks=tuple(ks), mean_speedups=tuple(mean_speedups))
 
@@ -216,6 +220,7 @@ def fig8_server_scaling(
     setup: Optional[ExperimentSetup] = None,
     n_configs: int = 300,
     server_counts: Sequence[int] = (4, 8, 16, 32),
+    workers: Optional[int] = None,
 ) -> Fig8Result:
     """Reproduce Figure 8."""
     base = setup or ExperimentSetup()
@@ -226,7 +231,10 @@ def fig8_server_scaling(
     for count in server_counts:
         scaled = replace(base, num_servers=count)
         summaries = compare_algorithms(
-            scaled, [Algorithm.DOWNLOAD_ALL, *algorithms], n_configs
+            scaled,
+            [Algorithm.DOWNLOAD_ALL, *algorithms],
+            n_configs,
+            workers=workers,
         )
         baseline = summaries[Algorithm.DOWNLOAD_ALL.value]
         for algorithm in algorithms:
@@ -270,20 +278,24 @@ def fig9_relocation_period(
     setup: Optional[ExperimentSetup] = None,
     n_configs: int = 300,
     periods: Sequence[float] = (120.0, 300.0, 600.0, 1800.0, 3600.0),
+    workers: Optional[int] = None,
 ) -> Fig9Result:
     """Reproduce Figure 9 (five periods between two minutes and an hour)."""
     setup = setup or ExperimentSetup()
     means = []
     for period in periods:
+        tasks = []
+        for index in range(n_configs):
+            tasks.append((index, Algorithm.DOWNLOAD_ALL))
+            tasks.append(
+                (index, Algorithm.GLOBAL, {"relocation_period": period})
+            )
+        results = run_sweep(setup, tasks, workers=workers)
         baseline = AlgorithmSummary(Algorithm.DOWNLOAD_ALL.value)
         online = AlgorithmSummary(Algorithm.GLOBAL.value)
         for index in range(n_configs):
-            baseline.add(run_configuration(setup, index, Algorithm.DOWNLOAD_ALL))
-            online.add(
-                run_configuration(
-                    setup, index, Algorithm.GLOBAL, relocation_period=period
-                )
-            )
+            baseline.add(results[(index, Algorithm.DOWNLOAD_ALL.value)])
+            online.add(results[(index, Algorithm.GLOBAL.value)])
         means.append(float(np.mean(speedup_series(online, baseline))))
     return Fig9Result(periods=tuple(periods), mean_speedups=tuple(means))
 
@@ -318,7 +330,9 @@ class Fig10Result:
 
 
 def fig10_tree_shape(
-    setup: Optional[ExperimentSetup] = None, n_configs: int = 300
+    setup: Optional[ExperimentSetup] = None,
+    n_configs: int = 300,
+    workers: Optional[int] = None,
 ) -> Fig10Result:
     """Reproduce Figure 10.
 
@@ -336,6 +350,7 @@ def fig10_tree_shape(
             shaped,
             [Algorithm.DOWNLOAD_ALL, Algorithm.GLOBAL, Algorithm.LOCAL],
             n_configs,
+            workers=workers,
         )
         baseline = summaries[Algorithm.DOWNLOAD_ALL.value]
         for algorithm in (Algorithm.GLOBAL, Algorithm.LOCAL):

@@ -1,0 +1,229 @@
+"""Parallel sweep execution for experiment batches.
+
+The paper's headline figures each aggregate hundreds of independent
+``(configuration, algorithm)`` simulations.  Every task is a pure function
+of ``(setup, config_index, algorithm, overrides)``, so the sweep is
+embarrassingly parallel — this module fans it out over a
+:class:`~concurrent.futures.ProcessPoolExecutor` while keeping the output
+**bit-identical** to the serial loop:
+
+* tasks are dispatched in chunks but results are keyed by
+  ``(config_index, algorithm)`` and re-assembled in serial order, so the
+  caller never observes pool scheduling;
+* each worker runs an initializer that receives the
+  :class:`~repro.experiments.config.ExperimentSetup` **once** and
+  reconstructs the trace library from its seed inside the worker —
+  individual tasks never pickle traces (a library is ~66 two-day arrays);
+* the worker count comes from an explicit argument, falling back to the
+  ``REPRO_WORKERS`` environment variable, falling back to 1 (serial);
+  ``workers <= 0`` means "one per CPU";
+* if the platform cannot start a process pool (sandboxes without
+  ``fork``/semaphores, interpreters without ``multiprocessing``), the
+  sweep silently degrades to the serial loop — same results, one process.
+
+The serial and parallel paths share the task list and the assembly code,
+which is what the determinism tests in
+``tests/experiments/test_parallel.py`` pin down.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable, Mapping, Optional, Sequence
+
+from repro.engine.config import Algorithm
+from repro.engine.metrics import RunMetrics
+from repro.engine.simulation import run_simulation
+from repro.experiments.config import ExperimentSetup, build_spec
+
+#: Environment variable consulted when no explicit worker count is given.
+WORKERS_ENV = "REPRO_WORKERS"
+
+#: A result key: ``(config_index, algorithm value)``.
+SweepKey = tuple[int, str]
+
+#: A normalized task: key plus a hashable overrides tuple.
+_Task = tuple[int, str, tuple[tuple[str, Any], ...]]
+
+#: Errors that mean "no process pool on this platform" — the sweep falls
+#: back to the serial loop rather than failing.
+_POOL_UNAVAILABLE = (ImportError, NotImplementedError, OSError, PermissionError)
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """The effective worker count for a sweep.
+
+    Precedence: explicit ``workers`` argument, then the ``REPRO_WORKERS``
+    environment variable, then 1 (serial).  A value ``<= 0`` requests one
+    worker per CPU.
+    """
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV, "").strip()
+        if not raw:
+            return 1
+        try:
+            workers = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"{WORKERS_ENV} must be an integer, got {raw!r}"
+            ) from None
+    workers = int(workers)
+    if workers <= 0:
+        return os.cpu_count() or 1
+    return workers
+
+
+def _normalize_tasks(
+    tasks: Sequence[tuple],
+    shared_overrides: Optional[Mapping[str, Any]],
+) -> list[_Task]:
+    """Canonical task tuples with merged, hashable overrides."""
+    shared = dict(shared_overrides or {})
+    normalized: list[_Task] = []
+    seen: set[SweepKey] = set()
+    for task in tasks:
+        if len(task) == 2:
+            config_index, algorithm = task
+            extra: Mapping[str, Any] = {}
+        elif len(task) == 3:
+            config_index, algorithm, extra = task
+            extra = extra or {}
+        else:
+            raise ValueError(
+                f"task must be (config, algorithm[, overrides]), got {task!r}"
+            )
+        algorithm = Algorithm(algorithm)
+        key = (int(config_index), algorithm.value)
+        if key in seen:
+            raise ValueError(
+                f"duplicate sweep task {key}; results are keyed by "
+                "(config_index, algorithm), so each pair may appear once"
+            )
+        seen.add(key)
+        merged = {**shared, **dict(extra)}
+        normalized.append((key[0], key[1], tuple(sorted(merged.items()))))
+    return normalized
+
+
+# -- worker side -----------------------------------------------------------
+#: Per-worker state, installed once by :func:`_init_worker`.
+_WORKER_SETUP: Optional[ExperimentSetup] = None
+
+
+def _init_worker(setup: ExperimentSetup) -> None:
+    """Process-pool initializer: install the setup and build its library.
+
+    The setup is pickled to each worker exactly once (as an initializer
+    argument).  When the setup carries no injected library, the library is
+    reconstructed here from ``study_seed``, so the 66-pair trace study is
+    synthesized once per worker and never crosses a pipe per task.
+    """
+    global _WORKER_SETUP
+    _WORKER_SETUP = setup
+    setup.trace_library()
+
+
+def _run_task(task: _Task) -> tuple[SweepKey, RunMetrics]:
+    """Simulate one task against the worker's installed setup."""
+    config_index, algorithm_value, overrides = task
+    setup = _WORKER_SETUP
+    if setup is None:  # pragma: no cover - initializer always runs first
+        raise RuntimeError("worker used before _init_worker ran")
+    spec = build_spec(
+        setup, config_index, Algorithm(algorithm_value), **dict(overrides)
+    )
+    return (config_index, algorithm_value), run_simulation(spec)
+
+
+# -- driver side -----------------------------------------------------------
+def _run_serial(
+    setup: ExperimentSetup,
+    tasks: Sequence[_Task],
+    progress: Optional[Callable],
+) -> dict[SweepKey, RunMetrics]:
+    results: dict[SweepKey, RunMetrics] = {}
+    for config_index, algorithm_value, overrides in tasks:
+        spec = build_spec(
+            setup, config_index, Algorithm(algorithm_value), **dict(overrides)
+        )
+        metrics = run_simulation(spec)
+        results[(config_index, algorithm_value)] = metrics
+        if progress is not None:
+            progress(config_index, Algorithm(algorithm_value), metrics)
+    return results
+
+
+def _run_parallel(
+    setup: ExperimentSetup,
+    tasks: Sequence[_Task],
+    workers: int,
+    progress: Optional[Callable],
+    chunksize: Optional[int],
+) -> dict[SweepKey, RunMetrics]:
+    from concurrent.futures import ProcessPoolExecutor
+
+    if chunksize is None:
+        # A few chunks per worker balances dispatch overhead (tasks are
+        # ~100 ms..s each) against tail latency on uneven task lengths.
+        chunksize = max(1, len(tasks) // (workers * 4))
+    results: dict[SweepKey, RunMetrics] = {}
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_init_worker,
+        initargs=(setup,),
+    ) as pool:
+        # ``map`` yields in submission order, so progress callbacks fire
+        # in exactly the serial order even though execution interleaves.
+        for key, metrics in pool.map(_run_task, tasks, chunksize=chunksize):
+            results[key] = metrics
+            if progress is not None:
+                progress(key[0], Algorithm(key[1]), metrics)
+    return results
+
+
+def run_sweep(
+    setup: ExperimentSetup,
+    tasks: Sequence[tuple],
+    *,
+    workers: Optional[int] = None,
+    progress: Optional[Callable] = None,
+    chunksize: Optional[int] = None,
+    overrides: Optional[Mapping[str, Any]] = None,
+) -> dict[SweepKey, RunMetrics]:
+    """Run a batch of ``(config_index, algorithm[, overrides])`` tasks.
+
+    Returns ``{(config_index, algorithm.value): RunMetrics}`` with one
+    entry per task.  The mapping's contents are independent of the worker
+    count: parallel execution is bit-identical to serial because every
+    simulation is a pure function of its task and the shared ``setup``.
+
+    Parameters
+    ----------
+    setup:
+        Shared experiment inputs.  An injected ``library`` is shipped to
+        each worker once via the pool initializer.
+    tasks:
+        Sequence of ``(config_index, algorithm)`` or
+        ``(config_index, algorithm, per_task_overrides)``.  Keys must be
+        unique within one sweep.
+    workers:
+        See :func:`resolve_workers`.  With one worker (or when process
+        pools are unavailable) the sweep runs serially in-process.
+    progress:
+        ``progress(config_index, algorithm, metrics)`` called once per
+        completed task, always in task order.
+    chunksize:
+        Tasks per pool dispatch; defaults to ``len(tasks) / (4·workers)``.
+    overrides:
+        Spec overrides applied to every task (per-task overrides win).
+    """
+    normalized = _normalize_tasks(tasks, overrides)
+    effective = resolve_workers(workers)
+    if effective > 1 and len(normalized) > 1:
+        try:
+            return _run_parallel(
+                setup, normalized, effective, progress, chunksize
+            )
+        except _POOL_UNAVAILABLE:
+            pass  # no process pool on this platform: degrade to serial
+    return _run_serial(setup, normalized, progress)

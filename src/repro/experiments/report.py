@@ -78,6 +78,8 @@ class ReportOptions:
     """What to include in a full report, and at what scale."""
 
     n_configs: int = 30
+    #: Parallel sweep workers (None: honour ``REPRO_WORKERS``, else serial).
+    workers: Optional[int] = None
     include_fig7: bool = True
     include_fig8: bool = True
     include_fig9: bool = True
@@ -127,7 +129,9 @@ def generate_report(
     }}
 
     echo(f"[report] figure 6 ({options.n_configs} configurations)...")
-    fig6 = fig6_main_comparison(setup, n_configs=options.n_configs)
+    fig6 = fig6_main_comparison(
+        setup, n_configs=options.n_configs, workers=options.workers
+    )
     ratio_go = paired_ratio(fig6.global_speedups, fig6.one_shot_speedups)
     ratio_gl = paired_ratio(fig6.global_speedups, fig6.local_speedups)
     sections += [
@@ -162,7 +166,7 @@ def generate_report(
     if options.include_fig7:
         n = options.configs_for("fig7")
         echo(f"[report] figure 7 ({n} configurations)...")
-        fig7 = fig7_extra_sites(setup, n_configs=n)
+        fig7 = fig7_extra_sites(setup, n_configs=n, workers=options.workers)
         sections += ["## Figure 7 — extra candidate sites", "", "```",
                      fig7.format_table(), "```", ""]
         data["fig7"] = {"ks": fig7.ks, "mean_speedups": fig7.mean_speedups}
@@ -170,7 +174,7 @@ def generate_report(
     if options.include_fig8:
         n = options.configs_for("fig8")
         echo(f"[report] figure 8 ({n} configurations)...")
-        fig8 = fig8_server_scaling(setup, n_configs=n)
+        fig8 = fig8_server_scaling(setup, n_configs=n, workers=options.workers)
         sections += ["## Figure 8 — scaling", "", "```",
                      fig8.format_table(), "```", ""]
         data["fig8"] = {
@@ -181,7 +185,9 @@ def generate_report(
     if options.include_fig9:
         n = options.configs_for("fig9")
         echo(f"[report] figure 9 ({n} configurations)...")
-        fig9 = fig9_relocation_period(setup, n_configs=n)
+        fig9 = fig9_relocation_period(
+            setup, n_configs=n, workers=options.workers
+        )
         sections += ["## Figure 9 — relocation period", "", "```",
                      fig9.format_table(), "```", ""]
         data["fig9"] = {
@@ -192,7 +198,7 @@ def generate_report(
     if options.include_fig10:
         n = options.configs_for("fig10")
         echo(f"[report] figure 10 ({n} configurations)...")
-        fig10 = fig10_tree_shape(setup, n_configs=n)
+        fig10 = fig10_tree_shape(setup, n_configs=n, workers=options.workers)
         sections += [
             "## Figure 10 — combination order", "", "```",
             ascii_curve(

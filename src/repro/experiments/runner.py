@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
@@ -11,6 +11,7 @@ from repro.engine.config import Algorithm
 from repro.engine.metrics import RunMetrics
 from repro.engine.simulation import run_simulation
 from repro.experiments.config import ExperimentSetup, build_spec
+from repro.experiments.parallel import run_sweep
 
 
 def run_configuration(
@@ -38,6 +39,37 @@ class AlgorithmSummary:
         self.interarrivals.append(metrics.mean_interarrival)
         self.relocations.append(metrics.relocations)
 
+    def merge(self, other: "AlgorithmSummary") -> "AlgorithmSummary":
+        """Append ``other``'s per-configuration results to this summary.
+
+        Shards must cover *disjoint, consecutive* configuration ranges and
+        be merged in configuration order — the paired-comparison semantics
+        of :func:`speedup_series` rely on position ``i`` meaning the same
+        configuration in every summary.  Returns ``self``.
+        """
+        if other.algorithm != self.algorithm:
+            raise ValueError(
+                f"cannot merge summary for {other.algorithm!r} into "
+                f"summary for {self.algorithm!r}"
+            )
+        self.completion_times.extend(other.completion_times)
+        self.interarrivals.extend(other.interarrivals)
+        self.relocations.extend(other.relocations)
+        return self
+
+    @classmethod
+    def from_parts(
+        cls, parts: Iterable["AlgorithmSummary"]
+    ) -> "AlgorithmSummary":
+        """Concatenate sweep shards (in configuration order) into one summary."""
+        parts = list(parts)
+        if not parts:
+            raise ValueError("from_parts needs at least one summary")
+        merged = cls(parts[0].algorithm)
+        for part in parts:
+            merged.merge(part)
+        return merged
+
     @property
     def mean_interarrival(self) -> float:
         """Mean of per-configuration mean inter-arrival times (§5 table)."""
@@ -53,20 +85,31 @@ def compare_algorithms(
     algorithms: Sequence[Algorithm],
     n_configs: int,
     progress: Optional[callable] = None,
+    workers: Optional[int] = None,
     **overrides,
 ) -> dict[str, AlgorithmSummary]:
     """Run all ``algorithms`` on configurations ``0..n_configs-1``.
 
     Every algorithm sees the *same* configurations (same seeds), matching
     the paper's paired comparison.
+
+    ``workers`` selects parallel execution (default: the ``REPRO_WORKERS``
+    environment variable, else serial); results are assembled in
+    configuration order regardless, so the returned summaries are
+    bit-identical for any worker count.
     """
     summaries = {a.value: AlgorithmSummary(a.value) for a in algorithms}
+    tasks = [
+        (index, algorithm)
+        for index in range(n_configs)
+        for algorithm in algorithms
+    ]
+    results = run_sweep(
+        setup, tasks, workers=workers, progress=progress, overrides=overrides
+    )
     for index in range(n_configs):
         for algorithm in algorithms:
-            metrics = run_configuration(setup, index, algorithm, **overrides)
-            summaries[algorithm.value].add(metrics)
-            if progress is not None:
-                progress(index, algorithm, metrics)
+            summaries[algorithm.value].add(results[(index, algorithm.value)])
     return summaries
 
 

@@ -27,6 +27,8 @@ class Environment:
         Starting value of the simulation clock (seconds).
     """
 
+    __slots__ = ("_now", "_queue", "_eid", "_active_process")
+
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, int, Event]] = []
@@ -106,9 +108,23 @@ class Environment:
                 self.schedule(stop_event, priority=URGENT, delay=at - self._now)
                 stop_event.callbacks.append(self._stop_callback)
 
+        # The hot loop: step() inlined with the queue, heappop and the
+        # exception types bound locally.  Sweeps spend the bulk of their
+        # time here, so every attribute lookup per event counts.
+        queue = self._queue
+        pop = heappop
+        failed = EventFailed
         try:
-            while self._queue:
-                self.step()
+            while queue:
+                self._now, _, _, event = pop(queue)
+                callbacks, event.callbacks = event.callbacks, None
+                for callback in callbacks:  # type: ignore[union-attr]
+                    callback(event)
+                if not event._ok and not event.defused:
+                    exc = typing.cast(BaseException, event._value)
+                    raise failed(
+                        f"unhandled failure in {event!r}: {exc!r}"
+                    ) from exc
         except StopSimulation as stop:
             return stop.value
 
@@ -160,6 +176,8 @@ class Process(Event):
     fires when the generator returns — its value is the generator's return
     value — so processes can wait for one another.
     """
+
+    __slots__ = ("_generator", "name", "_target")
 
     def __init__(
         self, env: Environment, generator: ProcessGenerator, name: str = ""

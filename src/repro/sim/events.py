@@ -35,6 +35,10 @@ class Event:
         The environment the event belongs to.
     """
 
+    #: Events are allocated by the hundreds of thousands per simulation;
+    #: ``__slots__`` keeps them dict-free (every subclass declares its own).
+    __slots__ = ("env", "callbacks", "_value", "_ok", "defused")
+
     def __init__(self, env: "Environment") -> None:
         self.env = env
         #: Callables invoked (in order) when the event is processed.  Set to
@@ -110,6 +114,8 @@ class Event:
 class Timeout(Event):
     """An event that fires after a fixed simulated delay."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative delay {delay!r}")
@@ -125,6 +131,8 @@ class Timeout(Event):
 
 class ConditionValue:
     """Ordered mapping of event -> value for fired condition sub-events."""
+
+    __slots__ = ("events",)
 
     def __init__(self, events: Iterable[Event]) -> None:
         self.events = list(events)
@@ -167,6 +175,8 @@ class Condition(Event):
     directly.
     """
 
+    __slots__ = ("_evaluate", "_events", "_count")
+
     def __init__(
         self,
         env: "Environment",
@@ -206,6 +216,8 @@ class Condition(Event):
 class AllOf(Condition):
     """Fires when *all* of the given events have fired."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         events = list(events)
         super().__init__(env, lambda evts, count: count >= len(evts), events)
@@ -217,6 +229,8 @@ class AnyOf(Condition):
     With an empty event list it fires immediately (there is nothing to wait
     for), mirroring the behaviour of :class:`AllOf`.
     """
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         events = list(events)

@@ -31,6 +31,8 @@ if TYPE_CHECKING:  # pragma: no cover
 class Request(Event):
     """A pending or granted claim on a :class:`Resource` slot."""
 
+    __slots__ = ("resource", "granted")
+
     def __init__(self, resource: "Resource") -> None:
         super().__init__(resource.env)
         self.resource = resource
@@ -116,6 +118,8 @@ class Resource:
 
 class PriorityRequest(Request):
     """A resource claim with a priority (lower value = served first)."""
+
+    __slots__ = ("priority", "sequence", "withdrawn")
 
     def __init__(self, resource: "PriorityResource", priority: int) -> None:
         super().__init__(resource)

@@ -22,6 +22,8 @@ if TYPE_CHECKING:  # pragma: no cover
 class StorePut(Event):
     """Event that fires when an item has been accepted by the store."""
 
+    __slots__ = ("item",)
+
     def __init__(self, store: "Store", item: Any) -> None:
         super().__init__(store.env)
         self.item = item
@@ -30,12 +32,16 @@ class StorePut(Event):
 class StoreGet(Event):
     """Event that fires with the retrieved item as its value."""
 
+    __slots__ = ()
+
     def __init__(self, store: "Store") -> None:
         super().__init__(store.env)
 
 
 class FilterStoreGet(StoreGet):
     """A get that only matches items satisfying ``predicate``."""
+
+    __slots__ = ("predicate",)
 
     def __init__(self, store: "Store", predicate: Callable[[Any], bool]) -> None:
         super().__init__(store)

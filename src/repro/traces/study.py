@@ -118,13 +118,20 @@ class TraceLibrary:
         for a, b in self._traces:
             if a not in host_names or b not in host_names:
                 raise ValueError(f"trace for unknown host pair ({a!r}, {b!r})")
+        #: Sorted key tuple, computed once: :meth:`sample` draws by index
+        #: into this tuple, so sampling is O(1) instead of re-sorting all
+        #: pair keys per draw — and the draw order is frozen at
+        #: construction, immune to any later mutation of ``_traces``.
+        self._sorted_keys: tuple[tuple[str, str], ...] = tuple(
+            sorted(self._traces)
+        )
 
     def __len__(self) -> int:
         return len(self._traces)
 
     def pairs(self) -> Iterator[tuple[str, str]]:
         """Iterate over the host pairs with traces, in sorted order."""
-        return iter(sorted(self._traces))
+        return iter(self._sorted_keys)
 
     def trace(self, a: str, b: str) -> BandwidthTrace:
         """The trace for the unordered pair ``{a, b}``."""
@@ -132,11 +139,11 @@ class TraceLibrary:
 
     def all_traces(self) -> list[BandwidthTrace]:
         """All traces, ordered by their (sorted) pair key."""
-        return [self._traces[key] for key in sorted(self._traces)]
+        return [self._traces[key] for key in self._sorted_keys]
 
     def sample(self, rng: np.random.Generator) -> BandwidthTrace:
         """Draw one trace uniformly at random (with replacement)."""
-        keys = sorted(self._traces)
+        keys = self._sorted_keys
         return self._traces[keys[int(rng.integers(len(keys)))]]
 
     def sample_noon_segment(self, rng: np.random.Generator) -> BandwidthTrace:
@@ -145,7 +152,7 @@ class TraceLibrary:
         This is how experiment configurations consume the library: "all
         experiments were run as if they started at noon" (§4).
         """
-        keys = sorted(self._traces)
+        keys = self._sorted_keys
         key = keys[int(rng.integers(len(keys)))]
         tz = self.tz_offsets.get(key, 0.0)
         return noon_segment(self._traces[key], tz)

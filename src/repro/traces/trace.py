@@ -146,9 +146,74 @@ class BandwidthTrace:
 
         The transfer consumes the step function's instantaneous rate; a
         rate change mid-transfer changes the transfer's speed from that
-        moment on.  ``nbytes == 0`` takes zero time.  The walk is
-        segment-by-segment, so the result is exact (never negative) even
-        for tiny transfers far outside the sampled window.
+        moment on.  ``nbytes == 0`` takes zero time.
+
+        The first (partial) segment is handled directly — exact, never
+        negative, even for tiny transfers far outside the sampled window.
+        A transfer that spans further is inverted against the cumulative
+        prefix-sum byte integral with one ``searchsorted``, so the cost is
+        O(log n) rather than a Python-level walk over every straddled
+        segment (:meth:`_transfer_time_scan` keeps the old walk as the
+        reference implementation).
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size {nbytes!r}")
+        if nbytes == 0:
+            return 0.0
+        rates = self.rates
+        times = self.times
+        last = len(self) - 1
+
+        if t0 >= self.end:
+            return nbytes / float(rates[last])
+        remaining = float(nbytes)
+        elapsed = 0.0
+        if t0 < self.start:
+            head_capacity = (self.start - t0) * float(rates[0])
+            if remaining <= head_capacity:
+                return remaining / float(rates[0])
+            remaining -= head_capacity
+            elapsed = self.start - t0
+            cursor = self.start
+            index = 0
+        else:
+            index = int(np.searchsorted(times, t0, side="right")) - 1
+            index = min(max(index, 0), last)
+            cursor = t0
+        if index == last:
+            return elapsed + remaining / float(rates[last])
+        # Finish the (partial) segment the transfer starts in exactly.
+        boundary = float(times[index + 1])
+        capacity = (boundary - cursor) * float(rates[index])
+        if remaining <= capacity:
+            return elapsed + remaining / float(rates[index])
+        remaining -= capacity
+        elapsed += boundary - cursor
+        index += 1
+        if index == last:
+            return elapsed + remaining / float(rates[last])
+        # From the sample boundary ``times[index]`` onward, invert the
+        # cumulative byte integral: find the segment whose prefix-sum
+        # bracket contains ``cum[index] + remaining``.
+        cum = self._cum()
+        target = float(cum[index]) + remaining
+        stop = int(np.searchsorted(cum, target, side="right")) - 1
+        if stop >= last:
+            return (
+                elapsed
+                + float(times[last]) - float(times[index])
+                + (target - float(cum[last])) / float(rates[last])
+            )
+        stop = max(stop, index)
+        within = (target - float(cum[stop])) / float(rates[stop])
+        return elapsed + float(times[stop]) - float(times[index]) + within
+
+    def _transfer_time_scan(self, nbytes: float, t0: float) -> float:
+        """Reference segment-by-segment walk (pre-prefix-sum algorithm).
+
+        Kept for the property-test cross-check and the micro-benchmark in
+        ``tools/bench_sweep.py``; semantics are identical to
+        :meth:`transfer_time` up to floating-point association order.
         """
         if nbytes < 0:
             raise ValueError(f"negative transfer size {nbytes!r}")

@@ -118,3 +118,40 @@ class TestNoonSegment:
         # tz -5: local noon at 17:00 UTC.
         seg = noon_segment(trace, tz_offset_hours=-5.0)
         assert seg.rate_at(0) == 18.0
+
+
+class TestSampleKeyCaching:
+    """Sampling draws from a key tuple frozen at construction."""
+
+    def test_sorted_keys_precomputed(self):
+        library = TraceLibrary(
+            DEFAULT_HOSTS[:3],
+            {
+                pair_key("umd", "rutgers"): constant_trace(10),
+                pair_key("ucla", "umd"): constant_trace(20),
+            },
+        )
+        assert library._sorted_keys == tuple(sorted(library._traces))
+        assert list(library.pairs()) == list(library._sorted_keys)
+
+    def test_sample_deterministic_for_seed(self):
+        library = InternetStudy(seed=5).run()
+        a = [library.sample(np.random.default_rng(3)).name for _ in range(5)]
+        b = [library.sample(np.random.default_rng(3)).name for _ in range(5)]
+        assert a == b
+
+    def test_sample_immune_to_later_mutation(self):
+        library = TraceLibrary(
+            DEFAULT_HOSTS[:3],
+            {
+                pair_key("umd", "rutgers"): constant_trace(10),
+                pair_key("ucla", "umd"): constant_trace(20),
+            },
+        )
+        before = [library.sample(np.random.default_rng(9)).name for _ in range(8)]
+        # A key sorting before the existing ones would previously have
+        # shifted every subsequent draw; the frozen tuple keeps the
+        # original draw order.
+        library._traces[pair_key("rutgers", "ucla")] = constant_trace(30)
+        after = [library.sample(np.random.default_rng(9)).name for _ in range(8)]
+        assert before == after

@@ -173,3 +173,33 @@ class TestMergeMin:
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             merge_min([])
+
+
+class TestTransferTimePrefixSum:
+    """The prefix-sum inversion must agree with the reference walk."""
+
+    def test_matches_reference_scan(self):
+        rng = np.random.default_rng(11)
+        times = np.cumsum(rng.uniform(1.0, 60.0, size=200))
+        rates = rng.lognormal(np.log(30 * 1024), 0.8, size=200)
+        trace = BandwidthTrace(times, rates)
+        for _ in range(300):
+            nbytes = float(rng.uniform(0, 5e8))
+            t0 = float(rng.uniform(times[0] - 1e3, times[-1] + 1e3))
+            fast = trace.transfer_time(nbytes, t0)
+            slow = trace._transfer_time_scan(nbytes, t0)
+            assert fast >= 0
+            assert fast == pytest.approx(slow, rel=1e-9, abs=1e-6)
+
+    def test_spanning_many_segments(self):
+        # 1 byte/s for 1000 one-second segments, then 1000 bytes/s.
+        n = 1001
+        trace = BandwidthTrace(np.arange(n, dtype=float), [1.0] * (n - 1) + [1000.0])
+        # 1500 bytes: 1000 s through the slow segments + 0.5 s at the tail.
+        assert trace.transfer_time(1500.0, 0.0) == pytest.approx(1000.5)
+
+    def test_single_segment_stays_exact(self):
+        trace = BandwidthTrace([0.0, 1e9], [8.0, 8.0])
+        # A tiny transfer deep inside a huge segment: exact division, no
+        # prefix-sum cancellation.
+        assert trace.transfer_time(4.0, 12345.6789) == pytest.approx(0.5)

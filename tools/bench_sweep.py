@@ -1,0 +1,201 @@
+#!/usr/bin/env python
+"""Record the repo's perf baseline: sweep wall-clock + hot-path micros.
+
+Times a fixed fig6-style sweep (all four algorithms over ``--configs``
+network configurations, paper-scale 8 servers x 180 images) serially and
+with a worker pool, verifies the two produce bit-identical summaries, and
+benchmarks the kernel/trace hot paths:
+
+* DES calendar throughput (timeout schedule-and-fire events/second);
+* ``BandwidthTrace.transfer_time`` — prefix-sum inversion vs the
+  reference segment-by-segment walk (``_transfer_time_scan``);
+* ``TraceLibrary.sample_noon_segment`` draw rate (cached sorted keys).
+
+Writes ``BENCH_sweep.json`` (see ``docs/performance.md`` for how to read
+it).  Run from the repo root::
+
+    PYTHONPATH=src python tools/bench_sweep.py --configs 30 --workers 4
+
+The parallel speedup is hardware-dependent: expect ~min(workers, cores)x
+on a multi-core machine and ~1x (pool overhead only) on a single core.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.engine.config import Algorithm
+from repro.experiments import ExperimentSetup, compare_algorithms
+from repro.sim import Environment
+from repro.traces import InternetStudy
+
+ALGORITHMS = [
+    Algorithm.DOWNLOAD_ALL,
+    Algorithm.ONE_SHOT,
+    Algorithm.LOCAL,
+    Algorithm.GLOBAL,
+]
+
+
+def bench_sweep(setup: ExperimentSetup, n_configs: int, workers: int) -> dict:
+    """Serial vs parallel wall-clock for the fig6-style sweep."""
+    t0 = time.perf_counter()
+    serial = compare_algorithms(setup, ALGORITHMS, n_configs, workers=1)
+    serial_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = compare_algorithms(setup, ALGORITHMS, n_configs, workers=workers)
+    parallel_seconds = time.perf_counter() - t0
+
+    identical = all(
+        serial[name].completion_times == parallel[name].completion_times
+        and serial[name].interarrivals == parallel[name].interarrivals
+        and serial[name].relocations == parallel[name].relocations
+        for name in serial
+    )
+    return {
+        "n_configs": n_configs,
+        "algorithms": [a.value for a in ALGORITHMS],
+        "workers": workers,
+        "serial_seconds": round(serial_seconds, 3),
+        "parallel_seconds": round(parallel_seconds, 3),
+        "parallel_speedup": round(serial_seconds / parallel_seconds, 3),
+        "bit_identical": identical,
+        "runs_per_second_serial": round(
+            n_configs * len(ALGORITHMS) / serial_seconds, 3
+        ),
+    }
+
+
+def bench_kernel(n_events: int = 100_000) -> dict:
+    """Schedule-and-fire throughput of the event calendar."""
+    env = Environment()
+
+    def ticker(env, count):
+        for _ in range(count):
+            yield env.timeout(1.0)
+
+    for _ in range(5):
+        env.process(ticker(env, n_events // 5))
+    t0 = time.perf_counter()
+    env.run()
+    elapsed = time.perf_counter() - t0
+    return {
+        "timeout_events": n_events,
+        "seconds": round(elapsed, 4),
+        "events_per_second": round(n_events / elapsed),
+    }
+
+
+def bench_trace_algebra(n_calls: int = 2000) -> dict:
+    """Prefix-sum transfer_time vs the reference segment walk."""
+    library = InternetStudy(seed=2024).run()
+    trace = library.all_traces()[0]
+    rng = np.random.default_rng(0)
+    # Transfer sizes that straddle many 30 s segments (hours of wire time
+    # at tens of KB/s) — the regime the old walk paid for linearly.
+    sizes = rng.uniform(1e6, 5e7, size=n_calls)
+    starts = rng.uniform(trace.start, trace.start + trace.duration / 2, size=n_calls)
+
+    t0 = time.perf_counter()
+    fast = [trace.transfer_time(float(n), float(s)) for n, s in zip(sizes, starts)]
+    fast_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    slow = [
+        trace._transfer_time_scan(float(n), float(s))
+        for n, s in zip(sizes, starts)
+    ]
+    scan_seconds = time.perf_counter() - t0
+
+    assert np.allclose(fast, slow, rtol=1e-9), "prefix-sum diverged from walk"
+    return {
+        "calls": n_calls,
+        "trace_samples": len(trace),
+        "prefix_sum_seconds": round(fast_seconds, 4),
+        "segment_walk_seconds": round(scan_seconds, 4),
+        "speedup": round(scan_seconds / fast_seconds, 2),
+    }
+
+
+def bench_library_sampling(n_draws: int = 20_000) -> dict:
+    """sample_noon_segment draw rate (cached sorted keys)."""
+    library = InternetStudy(seed=2024).run()
+    rng = np.random.default_rng(1)
+    t0 = time.perf_counter()
+    for _ in range(n_draws):
+        library.sample_noon_segment(rng)
+    elapsed = time.perf_counter() - t0
+    return {
+        "draws": n_draws,
+        "seconds": round(elapsed, 4),
+        "draws_per_second": round(n_draws / elapsed),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--configs", type=int, default=30,
+                        help="fig6-style sweep size (default 30)")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="pool size for the parallel leg (default 4)")
+    parser.add_argument("--out", default="BENCH_sweep.json",
+                        help="output path (default BENCH_sweep.json)")
+    parser.add_argument("--skip-sweep", action="store_true",
+                        help="micro-benchmarks only")
+    args = parser.parse_args(argv)
+
+    setup = ExperimentSetup()
+    setup.trace_library()  # warm the library cache outside the timers
+
+    results: dict = {
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+        },
+    }
+
+    print(f"[bench] kernel calendar throughput...", flush=True)
+    results["kernel"] = bench_kernel()
+    print(f"         {results['kernel']['events_per_second']:,} events/s")
+
+    print(f"[bench] trace algebra (prefix-sum vs walk)...", flush=True)
+    results["trace_algebra"] = bench_trace_algebra()
+    print(f"         {results['trace_algebra']['speedup']}x over the walk")
+
+    print(f"[bench] library sampling...", flush=True)
+    results["library_sampling"] = bench_library_sampling()
+    print(f"         {results['library_sampling']['draws_per_second']:,} draws/s")
+
+    if not args.skip_sweep:
+        print(
+            f"[bench] fig6-style sweep: {args.configs} configs x "
+            f"{len(ALGORITHMS)} algorithms, serial then {args.workers} "
+            "workers...",
+            flush=True,
+        )
+        results["sweep"] = bench_sweep(setup, args.configs, args.workers)
+        sweep = results["sweep"]
+        print(
+            f"         serial {sweep['serial_seconds']}s, parallel "
+            f"{sweep['parallel_seconds']}s ({sweep['parallel_speedup']}x), "
+            f"bit-identical: {sweep['bit_identical']}"
+        )
+
+    out = Path(args.out)
+    out.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"[bench] wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
