@@ -23,10 +23,10 @@ The package implements the paper's full simulated system:
 
 Quickstart::
 
-    from repro.experiments import ExperimentSetup, run_configuration
+    from repro.experiments import ExperimentConfig, run_configuration
     from repro.engine import Algorithm
 
-    setup = ExperimentSetup(num_servers=8, seed=42)
+    setup = ExperimentConfig(num_servers=8, seed=42)
     metrics = run_configuration(setup, config_index=0, algorithm=Algorithm.GLOBAL)
     print(metrics.mean_interarrival)
 """

@@ -4,6 +4,7 @@ Subcommands::
 
     repro run      — simulate one algorithm on one network configuration
     repro compare  — all four algorithms on N configurations (mini Fig. 6)
+    repro trace    — summarize a recorded run trace (JSONL)
     repro figure   — regenerate one of the paper's figures (2, 6..10)
     repro study    — synthesize and export the bandwidth-trace study
     repro report   — run the full evaluation and write report.md/.json
@@ -11,6 +12,8 @@ Subcommands::
 Examples::
 
     repro run --algorithm global --servers 8 --config 3
+    repro run --algorithm global --trace run.jsonl --chrome-trace run.json
+    repro trace run.jsonl
     repro compare --configs 10
     repro figure 8 --configs 6
     repro report --out report/ --configs 30
@@ -21,10 +24,11 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from dataclasses import replace
 from pathlib import Path
 
 from repro.engine.config import Algorithm
-from repro.experiments import ExperimentSetup
+from repro.experiments import ExperimentConfig
 from repro.experiments.figures import (
     fig6_main_comparison,
     fig7_extra_sites,
@@ -32,16 +36,17 @@ from repro.experiments.figures import (
     fig9_relocation_period,
     fig10_tree_shape,
 )
-from repro.experiments.report import ReportOptions, generate_report
+from repro.experiments.report import generate_report
 from repro.experiments.runner import (
+    AlgorithmSummary,
     compare_algorithms,
     run_configuration,
     speedup_series,
 )
 
 
-def _setup_from(args: argparse.Namespace) -> ExperimentSetup:
-    return ExperimentSetup(
+def _setup_from(args: argparse.Namespace) -> ExperimentConfig:
+    return ExperimentConfig(
         num_servers=args.servers,
         images_per_server=args.images,
         tree_shape=args.tree,
@@ -72,8 +77,13 @@ def _add_workers_argument(parser: argparse.ArgumentParser) -> None:
 
 def cmd_run(args: argparse.Namespace) -> int:
     setup = _setup_from(args)
+    tracer = None
+    if args.trace or args.chrome_trace:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
     metrics = run_configuration(
-        setup, args.config, Algorithm(args.algorithm)
+        setup, args.config, Algorithm(args.algorithm), tracer=tracer
     )
     payload = metrics.summary()
     if args.json:
@@ -81,6 +91,17 @@ def cmd_run(args: argparse.Namespace) -> int:
     else:
         for key, value in payload.items():
             print(f"{key:>24}: {value}")
+    if tracer is not None:
+        from repro.obs import write_chrome_trace, write_jsonl
+
+        if args.trace:
+            count = write_jsonl(tracer, args.trace)
+            print(f"{count} trace records written to {args.trace}",
+                  file=sys.stderr)
+        if args.chrome_trace:
+            write_chrome_trace(tracer, args.chrome_trace)
+            print(f"Chrome trace written to {args.chrome_trace} "
+                  "(load it in Perfetto / chrome://tracing)", file=sys.stderr)
     return 0
 
 
@@ -102,9 +123,31 @@ def cmd_compare(args: argparse.Namespace) -> int:
             flush=True,
         )
 
-    summaries = compare_algorithms(
-        setup, algorithms, args.configs, progress=progress, workers=args.workers
-    )
+    if args.trace:
+        # Tracing forces a serial sweep: every run gets its own tracer
+        # and its own JSONL file in the trace directory.
+        from repro.obs import Tracer, write_jsonl
+
+        trace_dir = Path(args.trace)
+        trace_dir.mkdir(parents=True, exist_ok=True)
+        summaries = {a.value: AlgorithmSummary(a.value) for a in algorithms}
+        for index in range(args.configs):
+            for algorithm in algorithms:
+                tracer = Tracer()
+                metrics = run_configuration(
+                    setup, index, algorithm, tracer=tracer
+                )
+                write_jsonl(
+                    tracer, trace_dir / f"config{index}-{algorithm.value}.jsonl"
+                )
+                summaries[algorithm.value].add(metrics)
+                progress(index, algorithm, metrics)
+        print(f"per-run traces written to {trace_dir}")
+    else:
+        summaries = compare_algorithms(
+            setup, algorithms, args.configs,
+            progress=progress, workers=args.workers,
+        )
     if args.out:
         from repro.experiments.persistence import save_runs_csv, save_runs_json
 
@@ -178,10 +221,28 @@ def cmd_study(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        format_trace_summary,
+        read_jsonl,
+        summarize_records,
+        write_chrome_trace,
+    )
+
+    records = read_jsonl(args.file)
+    print(format_trace_summary(summarize_records(records)))
+    if args.chrome:
+        write_chrome_trace(records, args.chrome)
+        print(f"Chrome trace written to {args.chrome} "
+              "(load it in Perfetto / chrome://tracing)")
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
-    setup = _setup_from(args)
-    options = ReportOptions(n_configs=args.configs, workers=args.workers)
-    generate_report(setup, options, out_dir=args.out)
+    config = replace(
+        _setup_from(args), n_configs=args.configs, workers=args.workers
+    )
+    generate_report(config, out_dir=args.out)
     return 0
 
 
@@ -200,6 +261,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--config", type=int, default=0,
                      help="network-configuration index (default 0)")
     run.add_argument("--json", action="store_true", help="JSON output")
+    run.add_argument("--trace", default=None, metavar="PATH",
+                     help="record the run's event stream to a JSONL trace")
+    run.add_argument("--chrome-trace", default=None, metavar="PATH",
+                     help="also export a Chrome trace_event file "
+                          "(Perfetto-loadable)")
     run.set_defaults(func=cmd_run)
 
     compare = sub.add_parser("compare", help="all four algorithms, N configs")
@@ -208,7 +274,18 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--configs", type=int, default=5)
     compare.add_argument("--out", default=None,
                          help="archive per-run metrics (.json or .csv)")
+    compare.add_argument("--trace", default=None, metavar="DIR",
+                         help="record one JSONL trace per run into DIR "
+                              "(forces a serial sweep)")
     compare.set_defaults(func=cmd_compare)
+
+    trace = sub.add_parser(
+        "trace", help="summarize a recorded run trace (JSONL)"
+    )
+    trace.add_argument("file", help="JSONL trace written by --trace")
+    trace.add_argument("--chrome", default=None, metavar="PATH",
+                       help="also convert to a Chrome trace_event file")
+    trace.set_defaults(func=cmd_trace)
 
     figure = sub.add_parser("figure", help="regenerate one paper figure")
     figure.add_argument("number", type=int, choices=(2, 6, 7, 8, 9, 10))

@@ -23,6 +23,7 @@ from repro.dataflow.tree import CLIENT_ID, TreeNode
 from repro.engine.config import Algorithm
 from repro.engine.runtime import Runtime
 from repro.net.message import Message, MessageKind
+from repro.obs.events import BARRIER_SUSPEND, COMPUTE
 
 
 class ActorBase:
@@ -118,6 +119,7 @@ class ServerActor(ActorBase):
         self.served_count = 0
         #: Suspended between a barrier PREPARE and its COMMIT (§2.2).
         self.suspended = False
+        self._suspended_at: Optional[float] = None
         self._buffered_demands: list[Message] = []
 
     def image_size(self, iteration: int) -> float:
@@ -178,6 +180,7 @@ class ServerActor(ActorBase):
             return
         self._seen_plans.add(plan_seq)
         self.suspended = True
+        self._suspended_at = self.runtime.env.now
         self.send_barrier(
             CLIENT_ID,
             {
@@ -192,6 +195,16 @@ class ServerActor(ActorBase):
     def _handle_commit(self, payload: dict[str, Any]):
         self.switch_plan = (payload["switch_iteration"], payload["placement"])
         self.suspended = False
+        tracer = self.runtime.tracer
+        if tracer.enabled and self._suspended_at is not None:
+            tracer.span(
+                BARRIER_SUSPEND,
+                self._suspended_at,
+                self.runtime.env.now,
+                actor=self.actor_id,
+                plan_seq=payload["plan_seq"],
+            )
+        self._suspended_at = None
         buffered, self._buffered_demands = self._buffered_demands, []
         for message in buffered:
             yield from self._serve(message.payload["iteration"])
@@ -255,7 +268,18 @@ class OperatorActor(ActorBase):
         sizes = [bucket[p] for p in self.producers]
         del self.inputs[iteration]
         compose = self.runtime.compose
+        started = self.runtime.env.now
         yield from self.my_host_obj().compute(compose.compute_seconds(*sizes))
+        tracer = self.runtime.tracer
+        if tracer.enabled:
+            tracer.span(
+                COMPUTE,
+                started,
+                self.runtime.env.now,
+                actor=self.actor_id,
+                host=self.my_host(),
+                iteration=iteration,
+            )
         self.held = (iteration, compose.output_size(*sizes))
         if self.pending_demand == iteration:
             yield from self._dispatch()

@@ -15,12 +15,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.dataflow.cost import CostModel
 from repro.dataflow.critical import placement_cost
 from repro.engine.actors import ClientActor
 from repro.engine.runtime import Runtime
+from repro.obs.events import BARRIER_ROUND, PLACEMENT_INSTALL, PLANNER_RUN
 from repro.placement.global_planner import GlobalPlanner
-from repro.placement.local_rules import choose_local_site, is_on_critical_path
+from repro.placement.local_rules import LocalRulesPlanner, is_on_critical_path
 
 
 class GlobalController:
@@ -64,6 +64,9 @@ class GlobalController:
         env = runtime.env
         client_host = runtime.spec.client_host
         runtime.metrics.planner_runs += 1
+        tracer = runtime.tracer
+        if tracer.enabled:
+            tracer.emit(PLANNER_RUN, env.now, algorithm=self.planner.name)
 
         if runtime.spec.probe_before_planning and not runtime.spec.oracle_monitoring:
             # Plan, probe the stale links the search consulted, re-plan —
@@ -76,6 +79,8 @@ class GlobalController:
                 dry = self.planner.plan(
                     runtime.snapshot_estimator(client_host),
                     runtime.current_placement,
+                    tracer=tracer,
+                    now=env.now,
                 )
                 stale = [
                     (a, b)
@@ -98,7 +103,9 @@ class GlobalController:
                     return
 
         estimator = runtime.snapshot_estimator(client_host)
-        result = self.planner.plan(estimator, runtime.current_placement)
+        result = self.planner.plan(
+            estimator, runtime.current_placement, tracer=tracer, now=env.now
+        )
         if result.placement == runtime.current_placement:
             return
         # Hysteresis: estimate jitter should not trigger change-overs.
@@ -169,6 +176,18 @@ class GlobalController:
         runtime.metrics.placements_installed += 1
         runtime.metrics.barrier_rounds += 1
         started = env.now
+        tracer = runtime.tracer
+        if tracer.enabled:
+            current = runtime.current_placement
+            moves = sum(
+                1
+                for node in runtime.tree.nodes()
+                if placement.host_of(node.node_id)
+                != current.host_of(node.node_id)
+            )
+            tracer.emit(
+                PLACEMENT_INSTALL, started, plan_seq=plan_seq, moves=moves
+            )
 
         reports_ready = runtime.start_barrier(plan_seq)
         root_op = runtime.tree.root_operator.node_id
@@ -200,15 +219,24 @@ class GlobalController:
         self.client_actor.switch_plan = (switch_iteration, placement.as_dict())
         runtime.current_placement = placement
         runtime.metrics.barrier_stall_seconds += env.now - started
+        if tracer.enabled:
+            tracer.span(BARRIER_ROUND, started, env.now, plan_seq=plan_seq)
 
 
 class LocalController:
-    """The distributed local algorithm's epoch wavefront (§2.3)."""
+    """The distributed local algorithm's epoch wavefront (§2.3).
 
-    def __init__(self, runtime: Runtime, cost_model: CostModel) -> None:
+    The site decisions themselves are delegated to a
+    :class:`~repro.placement.local_rules.LocalRulesPlanner`; the
+    controller owns the run-time machinery (epoch staggering, probe
+    traffic, move thresholds).
+    """
+
+    def __init__(self, runtime: Runtime, planner: LocalRulesPlanner) -> None:
         self.runtime = runtime
-        self.cost_model = cost_model
-        self.sizes = cost_model.sizes
+        self.planner = planner
+        self.cost_model = planner.cost_model
+        self.sizes = planner.cost_model.sizes
 
     def start(self) -> None:
         """Spawn one epoch process per operator."""
@@ -255,6 +283,13 @@ class LocalController:
         if not on_path:
             return
         runtime.metrics.planner_runs += 1
+        if runtime.tracer.enabled:
+            runtime.tracer.emit(
+                PLANNER_RUN,
+                runtime.env.now,
+                algorithm=self.planner.name,
+                actor=op_id,
+            )
 
         my_host = runtime.host_of(op_id)
         producer_hosts = [actor.peer_host(p) for p in actor.producers]
@@ -283,14 +318,13 @@ class LocalController:
                     my_host, producer_hosts, consumer_host, sorted(to_refresh)
                 )
 
-        decision = choose_local_site(
+        decision = self.planner.decide(
             current_host=my_host,
             producer_hosts=producer_hosts,
             producer_sizes=[self.sizes[p] for p in actor.producers],
             consumer_host=consumer_host,
             output_size=self.sizes[op_id],
             estimator=runtime.estimator_for(my_host),
-            startup_cost=self.cost_model.startup_cost,
             extra_candidates=extras,
             compute_seconds=self.cost_model.node_seconds(op_id),
         )

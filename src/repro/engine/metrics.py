@@ -3,7 +3,15 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any, Iterable, Union
+
 import numpy as np
+
+#: Version tag :meth:`RunMetrics.summary` embeds.  Version 2 added the
+#: trace-derived fields (transfers, local deliveries, passive
+#: measurements, piggyback merges) and ``median_gap``; version-1 payloads
+#: are still accepted by :mod:`repro.experiments.persistence`.
+SUMMARY_SCHEMA = 2
 
 
 @dataclass(frozen=True)
@@ -44,6 +52,11 @@ class RunMetrics:
     bytes_on_wire: float = 0.0
     #: True if the run hit the simulation-time wall before finishing.
     truncated: bool = False
+    #: Schema-2 trace-derived fields.
+    transfers: int = 0
+    local_deliveries: int = 0
+    passive_measurements: int = 0
+    piggyback_entries_merged: int = 0
 
     @property
     def completion_time(self) -> float:
@@ -74,13 +87,19 @@ class RunMetrics:
         return baseline.completion_time / self.completion_time
 
     def summary(self) -> dict:
-        """Plain-dict summary for serialization and tables."""
+        """Plain-dict summary for serialization and tables.
+
+        Carries ``"schema": 2`` — see :data:`SUMMARY_SCHEMA`.  Readers in
+        :mod:`repro.experiments.persistence` accept both versions.
+        """
         return {
+            "schema": SUMMARY_SCHEMA,
             "algorithm": self.algorithm,
             "num_servers": self.num_servers,
             "images": self.images,
             "completion_time": self.completion_time,
             "mean_interarrival": self.mean_interarrival,
+            "median_gap": self.median_gap,
             "relocations": self.relocations,
             "planner_runs": self.planner_runs,
             "placements_installed": self.placements_installed,
@@ -91,4 +110,39 @@ class RunMetrics:
             "forwarded_messages": self.forwarded_messages,
             "bytes_on_wire": self.bytes_on_wire,
             "truncated": self.truncated,
+            "transfers": self.transfers,
+            "local_deliveries": self.local_deliveries,
+            "passive_measurements": self.passive_measurements,
+            "piggyback_entries_merged": self.piggyback_entries_merged,
         }
+
+    @classmethod
+    def from_trace(
+        cls, source: "Union[str, Iterable[dict[str, Any]]]"
+    ) -> "RunMetrics":
+        """Rebuild the aggregate metrics by replaying a recorded trace.
+
+        ``source`` is a JSONL trace path or the record list returned by
+        :func:`repro.obs.read_jsonl`.  Because each trace event is emitted
+        exactly where the live counter increments, the replayed metrics
+        match the run's :class:`RunMetrics` field-for-field (probe counts
+        excepted only if monitoring was never enabled).  Used in tests as
+        a cross-check of the aggregates against the event stream.
+        """
+        # Imported lazily: repro.obs must stay importable without the
+        # engine, and vice versa.
+        from repro.obs.exporters import read_jsonl
+        from repro.obs.summary import replay_aggregates
+
+        records = read_jsonl(source) if isinstance(source, str) else list(source)
+        agg = replay_aggregates(records)
+        events = [
+            RelocationEvent(
+                time=e["time"],
+                actor=e["actor"],
+                old_host=e["old_host"],
+                new_host=e["new_host"],
+            )
+            for e in agg.pop("relocation_events")
+        ]
+        return cls(relocation_events=events, **agg)

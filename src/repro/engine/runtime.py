@@ -20,6 +20,8 @@ from repro.net.message import (
     MessageKind,
 )
 from repro.net.network import Network
+from repro.obs.events import ARRIVAL, RELOCATION
+from repro.obs.tracer import ensure_tracer
 from repro.sim import Environment, Event
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -44,9 +46,11 @@ class Runtime:
         spec: SimulationSpec,
         initial_placement: Placement,
         server_replicas: "Optional[dict[str, tuple[str, ...]]]" = None,
+        tracer=None,
     ) -> None:
         self.env = env
         self.network = network
+        self.tracer = ensure_tracer(tracer)
         self.monitoring = monitoring
         self.tree = tree
         self.workload = workload
@@ -213,6 +217,15 @@ class Runtime:
         self.metrics.relocation_events.append(
             RelocationEvent(self.env.now, op_id, old_host, new_host)
         )
+        if self.tracer.enabled:
+            self.tracer.emit(
+                RELOCATION,
+                self.env.now,
+                actor=op_id,
+                old_host=old_host,
+                new_host=new_host,
+                state_bytes=self.spec.op_state_bytes,
+            )
 
     # -- monitoring helpers -------------------------------------------------------
     def estimator_for(self, viewer_host: str):
@@ -305,6 +318,8 @@ class Runtime:
     def note_arrival(self, iteration: int, at: float) -> None:
         """Record a composed image reaching the client."""
         self.metrics.arrival_times.append(at)
+        if self.tracer.enabled:
+            self.tracer.emit(ARRIVAL, at, iteration=iteration)
         if len(self.metrics.arrival_times) >= self.num_images and not self.done.triggered:
             self.done.succeed(at)
 
@@ -339,4 +354,10 @@ class Runtime:
         metrics.probe_bytes = self.monitoring.stats.probe_bytes
         metrics.forwarded_messages = self.network.stats.forwarded
         metrics.bytes_on_wire = self.network.stats.bytes_on_wire
+        metrics.transfers = self.network.stats.transfers
+        metrics.local_deliveries = self.network.stats.local_deliveries
+        metrics.passive_measurements = self.monitoring.stats.passive_measurements
+        metrics.piggyback_entries_merged = (
+            self.monitoring.stats.piggyback_entries_merged
+        )
         return metrics

@@ -19,9 +19,10 @@ from repro.monitor.system import MonitoringSystem
 from repro.net.host import Host
 from repro.net.link import Link
 from repro.net.network import Network
+from repro.obs.events import RUN_END, RUN_META
+from repro.obs.tracer import ensure_tracer
+from repro.placement import planner_for
 from repro.placement.download_all import download_all_placement
-from repro.placement.global_planner import GlobalPlanner
-from repro.placement.one_shot import OneShotPlanner
 from repro.sim import Environment
 
 import numpy as np
@@ -55,10 +56,20 @@ def build_tree(spec: SimulationSpec) -> CombinationTree:
     return left_deep_tree(spec.num_servers)
 
 
-def build_simulation(spec: SimulationSpec) -> tuple[Environment, Runtime]:
-    """Assemble network, monitoring, tree, placement, actors, controllers."""
+def build_simulation(
+    spec: SimulationSpec, tracer=None
+) -> tuple[Environment, Runtime]:
+    """Assemble network, monitoring, tree, placement, actors, controllers.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`) turns on run tracing across
+    every subsystem; the default no-op tracer leaves the hot paths
+    untouched.
+    """
+    tracer = ensure_tracer(tracer)
     env = Environment()
-    network = Network(env)
+    if tracer.enabled:
+        env.trace_hook = tracer.kernel_hook
+    network = Network(env, tracer=tracer)
     for host_name in spec.all_hosts:
         network.add_host(
             Host(
@@ -76,7 +87,7 @@ def build_simulation(spec: SimulationSpec) -> tuple[Environment, Runtime]:
                 Link(a, b, spec.link_traces[key], startup_cost=spec.startup_cost)
             )
 
-    monitoring = MonitoringSystem(network, spec.monitoring)
+    monitoring = MonitoringSystem(network, spec.monitoring, tracer=tracer)
     if spec.seed_initial_snapshot:
         monitoring.seed_snapshot(0.0)
 
@@ -105,7 +116,13 @@ def build_simulation(spec: SimulationSpec) -> tuple[Environment, Runtime]:
     }
     server_replicas = derive_server_replicas(spec, server_hosts_map)
     initial = _initial_placement(
-        spec, tree, cost_model, monitoring, server_hosts_map, server_replicas
+        spec,
+        tree,
+        cost_model,
+        monitoring,
+        server_hosts_map,
+        server_replicas,
+        tracer=tracer,
     )
 
     runtime = Runtime(
@@ -117,6 +134,7 @@ def build_simulation(spec: SimulationSpec) -> tuple[Environment, Runtime]:
         spec,
         initial,
         server_replicas=server_replicas,
+        tracer=tracer,
     )
 
     client_actor = ClientActor(runtime, tree.client)
@@ -130,7 +148,8 @@ def build_simulation(spec: SimulationSpec) -> tuple[Environment, Runtime]:
         env.process(actor.run(), name=op.node_id)
 
     if spec.algorithm is Algorithm.GLOBAL:
-        planner = GlobalPlanner(
+        planner = planner_for(
+            Algorithm.GLOBAL,
             tree,
             list(spec.all_hosts),
             cost_model,
@@ -139,7 +158,14 @@ def build_simulation(spec: SimulationSpec) -> tuple[Environment, Runtime]:
         controller = GlobalController(runtime, planner, client_actor)
         env.process(controller.run(), name="global-controller")
     elif spec.algorithm is Algorithm.LOCAL:
-        LocalController(runtime, cost_model).start()
+        planner = planner_for(
+            Algorithm.LOCAL,
+            tree,
+            list(spec.all_hosts),
+            cost_model,
+            extra_candidates=spec.local_extra_candidates,
+        )
+        LocalController(runtime, planner).start()
 
     return env, runtime
 
@@ -151,6 +177,7 @@ def _initial_placement(
     monitoring: MonitoringSystem,
     server_hosts_map: dict[str, str],
     server_replicas: "dict[str, tuple[str, ...]] | None" = None,
+    tracer=None,
 ) -> Placement:
     """Initial operator placement per algorithm (§2).
 
@@ -159,21 +186,57 @@ def _initial_placement(
     information available at t=0.
     """
     download = download_all_placement(tree, server_hosts_map, spec.client_host)
-    if spec.algorithm is Algorithm.DOWNLOAD_ALL:
-        return download
 
     def estimator(a: str, b: str) -> float:
         return monitoring.estimate(spec.client_host, a, b, 0.0).bandwidth
 
-    planner = OneShotPlanner(
-        tree, list(spec.all_hosts), cost_model, server_replicas=server_replicas
+    initial_algorithm = (
+        Algorithm.DOWNLOAD_ALL
+        if spec.algorithm is Algorithm.DOWNLOAD_ALL
+        else Algorithm.ONE_SHOT
     )
-    return planner.plan(estimator, initial=download).placement
+    planner = planner_for(
+        initial_algorithm,
+        tree,
+        list(spec.all_hosts),
+        cost_model,
+        server_replicas=server_replicas,
+    )
+    return planner.plan(estimator, download, tracer=tracer).placement
 
 
-def run_simulation(spec: SimulationSpec) -> RunMetrics:
-    """Run one experiment to completion and return its metrics."""
-    env, runtime = build_simulation(spec)
+def run_simulation(spec: SimulationSpec, tracer=None) -> RunMetrics:
+    """Run one experiment to completion and return its metrics.
+
+    Pass a :class:`repro.obs.Tracer` to record the run's event stream
+    (export it with :mod:`repro.obs.exporters` afterwards).
+    """
+    tracer = ensure_tracer(tracer)
+    if tracer.enabled:
+        tracer.meta.update(
+            algorithm=spec.algorithm.value,
+            num_servers=spec.num_servers,
+            images=spec.images_per_server,
+        )
+        tracer.emit(
+            RUN_META,
+            0.0,
+            algorithm=spec.algorithm.value,
+            num_servers=spec.num_servers,
+            images=spec.images_per_server,
+            tree_shape=spec.tree_shape,
+            hosts=list(spec.all_hosts),
+        )
+    env, runtime = build_simulation(spec, tracer=tracer)
     stop = env.any_of([runtime.done, env.timeout(spec.max_sim_time)])
     env.run(until=stop)
-    return runtime.finalize_metrics(truncated=not runtime.finished)
+    metrics = runtime.finalize_metrics(truncated=not runtime.finished)
+    if tracer.enabled:
+        tracer.emit(
+            RUN_END,
+            env.now,
+            truncated=metrics.truncated,
+            images_delivered=len(metrics.arrival_times),
+            completion_time=metrics.completion_time,
+        )
+    return metrics

@@ -5,8 +5,10 @@ network configurations**, each produced by assigning Internet bandwidth
 traces uniformly at random to the links of a complete graph over the
 participating hosts.  This package reproduces that methodology:
 
-* :class:`~repro.experiments.config.ExperimentSetup` — the shared inputs
-  (trace library, workload parameters, master seed);
+* :class:`~repro.experiments.config.ExperimentConfig` — the shared
+  inputs (trace library, workload parameters, master seed) plus the
+  report-scale knobs; :class:`~repro.experiments.config.ExperimentSetup`
+  is its deprecated alias;
 * :func:`~repro.experiments.runner.run_configuration` — one simulation of
   one algorithm on one configuration;
 * :mod:`~repro.experiments.figures` — one reproduction function per paper
@@ -14,7 +16,12 @@ participating hosts.  This package reproduces that methodology:
   structured result that the benchmark harness prints.
 """
 
-from repro.experiments.config import ExperimentSetup, build_spec, make_configuration
+from repro.experiments.config import (
+    ExperimentConfig,
+    ExperimentSetup,
+    build_spec,
+    make_configuration,
+)
 from repro.experiments.parallel import resolve_workers, run_sweep
 from repro.experiments.runner import (
     AlgorithmSummary,
@@ -37,6 +44,7 @@ from repro.experiments.figures import (
 
 __all__ = [
     "AlgorithmSummary",
+    "ExperimentConfig",
     "ExperimentSetup",
     "Fig10Result",
     "Fig6Result",

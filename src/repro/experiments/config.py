@@ -8,6 +8,7 @@ uniform random number generator."
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, replace
 from functools import lru_cache
 from typing import Optional
@@ -26,9 +27,17 @@ def _default_library(seed: int) -> TraceLibrary:
 
 
 @dataclass(frozen=True)
-class ExperimentSetup:
-    """Shared inputs for a family of experiment configurations."""
+class ExperimentConfig:
+    """One composable config for a family of experiments *and* reporting.
 
+    Collapses the workload knobs (formerly :class:`ExperimentSetup`) and
+    the report knobs (formerly :class:`~repro.experiments.report.
+    ReportOptions`) into a single frozen dataclass, so a whole study is
+    one value that can be passed around, ``dataclasses.replace``-d, and
+    pickled to sweep workers.
+    """
+
+    # ---- workload ----------------------------------------------------
     num_servers: int = 8
     tree_shape: str = "binary"
     images_per_server: int = 180
@@ -41,6 +50,19 @@ class ExperimentSetup:
     relocation_period: float = 600.0
     local_extra_candidates: int = 0
     library: Optional[TraceLibrary] = None
+
+    # ---- report scale ------------------------------------------------
+    n_configs: int = 30
+    #: Parallel sweep workers (None: honour ``REPRO_WORKERS``, else serial).
+    workers: Optional[int] = None
+    include_fig7: bool = True
+    include_fig8: bool = True
+    include_fig9: bool = True
+    include_fig10: bool = True
+    fig7_configs: Optional[int] = None
+    fig8_configs: Optional[int] = None
+    fig9_configs: Optional[int] = None
+    fig10_configs: Optional[int] = None
 
     def trace_library(self) -> TraceLibrary:
         """The trace library (the default study unless one was injected)."""
@@ -56,9 +78,33 @@ class ExperimentSetup:
     def client_host(self) -> str:
         return "client"
 
+    def configs_for(self, figure: str) -> int:
+        """Number of configurations to run for one of the sweep figures."""
+        override = getattr(self, f"{figure}_configs")
+        if override is not None:
+            return override
+        # The sweep figures multiply runs by their sweep size; scale down.
+        return max(2, self.n_configs // 3)
+
+
+class ExperimentSetup(ExperimentConfig):
+    """Deprecated alias of :class:`ExperimentConfig`.
+
+    Kept for one release so existing call sites keep working; construct
+    :class:`ExperimentConfig` instead.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        warnings.warn(
+            "ExperimentSetup is deprecated; use ExperimentConfig",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(*args, **kwargs)
+
 
 def make_configuration(
-    setup: ExperimentSetup, config_index: int
+    setup: ExperimentConfig, config_index: int
 ) -> dict[tuple[str, str], BandwidthTrace]:
     """Network configuration ``config_index``: a trace for every link.
 
@@ -80,7 +126,7 @@ def make_configuration(
 
 
 def build_spec(
-    setup: ExperimentSetup,
+    setup: ExperimentConfig,
     config_index: int,
     algorithm: Algorithm,
     **overrides,

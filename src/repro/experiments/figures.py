@@ -14,7 +14,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.engine.config import Algorithm
-from repro.experiments.config import ExperimentSetup
+from repro.experiments.config import ExperimentConfig
 from repro.experiments.parallel import run_sweep
 from repro.experiments.runner import (
     AlgorithmSummary,
@@ -108,12 +108,12 @@ class Fig6Result:
 
 
 def fig6_main_comparison(
-    setup: Optional[ExperimentSetup] = None,
+    setup: Optional[ExperimentConfig] = None,
     n_configs: int = 300,
     workers: Optional[int] = None,
 ) -> Fig6Result:
     """Reproduce Figure 6 and the §5 inter-arrival table."""
-    setup = setup or ExperimentSetup()
+    setup = setup or ExperimentConfig()
     algorithms = [
         Algorithm.DOWNLOAD_ALL,
         Algorithm.ONE_SHOT,
@@ -163,13 +163,13 @@ class Fig7Result:
 
 
 def fig7_extra_sites(
-    setup: Optional[ExperimentSetup] = None,
+    setup: Optional[ExperimentConfig] = None,
     n_configs: int = 300,
     ks: Sequence[int] = (0, 1, 2, 3, 4, 5, 6),
     workers: Optional[int] = None,
 ) -> Fig7Result:
     """Reproduce Figure 7."""
-    setup = setup or ExperimentSetup()
+    setup = setup or ExperimentConfig()
     mean_speedups = []
     for k in ks:
         tasks = []
@@ -217,13 +217,13 @@ class Fig8Result:
 
 
 def fig8_server_scaling(
-    setup: Optional[ExperimentSetup] = None,
+    setup: Optional[ExperimentConfig] = None,
     n_configs: int = 300,
     server_counts: Sequence[int] = (4, 8, 16, 32),
     workers: Optional[int] = None,
 ) -> Fig8Result:
     """Reproduce Figure 8."""
-    base = setup or ExperimentSetup()
+    base = setup or ExperimentConfig()
     algorithms = [Algorithm.ONE_SHOT, Algorithm.LOCAL, Algorithm.GLOBAL]
     results: dict[str, list[float]] = {a.value: [] for a in algorithms}
     from dataclasses import replace
@@ -275,13 +275,13 @@ class Fig9Result:
 
 
 def fig9_relocation_period(
-    setup: Optional[ExperimentSetup] = None,
+    setup: Optional[ExperimentConfig] = None,
     n_configs: int = 300,
     periods: Sequence[float] = (120.0, 300.0, 600.0, 1800.0, 3600.0),
     workers: Optional[int] = None,
 ) -> Fig9Result:
     """Reproduce Figure 9 (five periods between two minutes and an hour)."""
-    setup = setup or ExperimentSetup()
+    setup = setup or ExperimentConfig()
     means = []
     for period in periods:
         tasks = []
@@ -330,7 +330,7 @@ class Fig10Result:
 
 
 def fig10_tree_shape(
-    setup: Optional[ExperimentSetup] = None,
+    setup: Optional[ExperimentConfig] = None,
     n_configs: int = 300,
     workers: Optional[int] = None,
 ) -> Fig10Result:
@@ -342,7 +342,7 @@ def fig10_tree_shape(
     """
     from dataclasses import replace
 
-    base = setup or ExperimentSetup()
+    base = setup or ExperimentConfig()
     series: dict[tuple[str, str], np.ndarray] = {}
     for shape in ("binary", "left-deep"):
         shaped = replace(base, tree_shape=shape)

@@ -11,7 +11,7 @@ embarrassingly parallel — this module fans it out over a
   ``(config_index, algorithm)`` and re-assembled in serial order, so the
   caller never observes pool scheduling;
 * each worker runs an initializer that receives the
-  :class:`~repro.experiments.config.ExperimentSetup` **once** and
+  :class:`~repro.experiments.config.ExperimentConfig` **once** and
   reconstructs the trace library from its seed inside the worker —
   individual tasks never pickle traces (a library is ~66 two-day arrays);
 * the worker count comes from an explicit argument, falling back to the
@@ -34,7 +34,7 @@ from typing import Any, Callable, Mapping, Optional, Sequence
 from repro.engine.config import Algorithm
 from repro.engine.metrics import RunMetrics
 from repro.engine.simulation import run_simulation
-from repro.experiments.config import ExperimentSetup, build_spec
+from repro.experiments.config import ExperimentConfig, build_spec
 
 #: Environment variable consulted when no explicit worker count is given.
 WORKERS_ENV = "REPRO_WORKERS"
@@ -107,10 +107,10 @@ def _normalize_tasks(
 
 # -- worker side -----------------------------------------------------------
 #: Per-worker state, installed once by :func:`_init_worker`.
-_WORKER_SETUP: Optional[ExperimentSetup] = None
+_WORKER_SETUP: Optional[ExperimentConfig] = None
 
 
-def _init_worker(setup: ExperimentSetup) -> None:
+def _init_worker(setup: ExperimentConfig) -> None:
     """Process-pool initializer: install the setup and build its library.
 
     The setup is pickled to each worker exactly once (as an initializer
@@ -137,7 +137,7 @@ def _run_task(task: _Task) -> tuple[SweepKey, RunMetrics]:
 
 # -- driver side -----------------------------------------------------------
 def _run_serial(
-    setup: ExperimentSetup,
+    setup: ExperimentConfig,
     tasks: Sequence[_Task],
     progress: Optional[Callable],
 ) -> dict[SweepKey, RunMetrics]:
@@ -154,7 +154,7 @@ def _run_serial(
 
 
 def _run_parallel(
-    setup: ExperimentSetup,
+    setup: ExperimentConfig,
     tasks: Sequence[_Task],
     workers: int,
     progress: Optional[Callable],
@@ -182,7 +182,7 @@ def _run_parallel(
 
 
 def run_sweep(
-    setup: ExperimentSetup,
+    setup: ExperimentConfig,
     tasks: Sequence[tuple],
     *,
     workers: Optional[int] = None,

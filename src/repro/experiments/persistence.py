@@ -34,7 +34,14 @@ def metrics_to_dict(metrics: RunMetrics, include_arrivals: bool = True) -> dict:
 
 
 def metrics_from_dict(payload: dict) -> RunMetrics:
-    """Rebuild :class:`RunMetrics` from :func:`metrics_to_dict` output."""
+    """Rebuild :class:`RunMetrics` from :func:`metrics_to_dict` output.
+
+    Accepts both summary schema versions: version-1 payloads (no
+    ``"schema"`` key) lack the trace-derived fields, which default to 0.
+    """
+    schema = payload.get("schema", 1)
+    if schema not in (1, 2):
+        raise ValueError(f"unsupported metrics schema {schema!r}")
     metrics = RunMetrics(
         algorithm=payload["algorithm"],
         num_servers=payload["num_servers"],
@@ -50,6 +57,10 @@ def metrics_from_dict(payload: dict) -> RunMetrics:
         forwarded_messages=payload["forwarded_messages"],
         bytes_on_wire=payload["bytes_on_wire"],
         truncated=payload["truncated"],
+        transfers=payload.get("transfers", 0),
+        local_deliveries=payload.get("local_deliveries", 0),
+        passive_measurements=payload.get("passive_measurements", 0),
+        piggyback_entries_merged=payload.get("piggyback_entries_merged", 0),
     )
     for event in payload.get("relocation_events", []):
         metrics.relocation_events.append(
@@ -74,6 +85,7 @@ def load_runs_json(path: PathLike) -> list[RunMetrics]:
 
 #: Columns of the flat CSV export (one row per run).
 CSV_FIELDS = (
+    "schema",
     "algorithm",
     "num_servers",
     "images",
@@ -89,6 +101,10 @@ CSV_FIELDS = (
     "forwarded_messages",
     "bytes_on_wire",
     "truncated",
+    "transfers",
+    "local_deliveries",
+    "passive_measurements",
+    "piggyback_entries_merged",
 )
 
 

@@ -9,13 +9,14 @@ a self-contained markdown report plus a JSON archive of every number.
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass
+import warnings
+from dataclasses import asdict, dataclass, fields
 from pathlib import Path
 from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.experiments.config import ExperimentSetup
+from repro.experiments.config import ExperimentConfig
 from repro.experiments.figures import (
     fig6_main_comparison,
     fig7_extra_sites,
@@ -73,9 +74,30 @@ def ascii_curve(
     return "\n".join(lines)
 
 
+#: Report-scale fields that :class:`ReportOptions` used to own; they now
+#: live on :class:`~repro.experiments.config.ExperimentConfig`.
+_REPORT_FIELDS = (
+    "n_configs",
+    "workers",
+    "include_fig7",
+    "include_fig8",
+    "include_fig9",
+    "include_fig10",
+    "fig7_configs",
+    "fig8_configs",
+    "fig9_configs",
+    "fig10_configs",
+)
+
+
 @dataclass
 class ReportOptions:
-    """What to include in a full report, and at what scale."""
+    """Deprecated alias: report knobs now live on ``ExperimentConfig``.
+
+    Kept for one release so ``generate_report(setup, options)`` call
+    sites keep working; set the same fields on
+    :class:`~repro.experiments.config.ExperimentConfig` instead.
+    """
 
     n_configs: int = 30
     #: Parallel sweep workers (None: honour ``REPRO_WORKERS``, else serial).
@@ -89,6 +111,14 @@ class ReportOptions:
     fig9_configs: Optional[int] = None
     fig10_configs: Optional[int] = None
 
+    def __post_init__(self) -> None:
+        warnings.warn(
+            "ReportOptions is deprecated; set report fields on "
+            "ExperimentConfig",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+
     def configs_for(self, figure: str) -> int:
         override = getattr(self, f"{figure}_configs")
         if override is not None:
@@ -97,20 +127,51 @@ class ReportOptions:
         return max(2, self.n_configs // 3)
 
 
+def _as_config(setup, options) -> ExperimentConfig:
+    """Normalize legacy ``(setup, options)`` pairs onto one config.
+
+    ``setup`` may be any object carrying ``ExperimentConfig``'s fields
+    (including the deprecated ``ExperimentSetup``); a legacy ``options``
+    overrides the report-scale fields.
+    """
+    if setup is None:
+        config = ExperimentConfig()
+    elif isinstance(setup, ExperimentConfig) and type(setup) is ExperimentConfig:
+        config = setup
+    else:
+        config = ExperimentConfig(
+            **{
+                f.name: getattr(setup, f.name)
+                for f in fields(ExperimentConfig)
+                if hasattr(setup, f.name)
+            }
+        )
+    if options is not None:
+        values = {f.name: getattr(config, f.name) for f in fields(ExperimentConfig)}
+        for name in _REPORT_FIELDS:
+            values[name] = getattr(options, name)
+        config = ExperimentConfig(**values)
+    return config
+
+
 def generate_report(
-    setup: Optional[ExperimentSetup] = None,
+    setup: Optional[ExperimentConfig] = None,
     options: Optional[ReportOptions] = None,
     out_dir: "str | Path | None" = None,
     echo=print,
 ) -> dict:
     """Run the evaluation and return (and optionally write) the report.
 
-    Returns a dict with ``markdown`` (the report text) and ``data`` (all
-    numbers, JSON-serializable).  When ``out_dir`` is given, writes
-    ``report.md`` and ``report.json`` there.
+    ``setup`` is an :class:`~repro.experiments.config.ExperimentConfig`
+    carrying both workload and report-scale knobs; the legacy
+    ``(ExperimentSetup, ReportOptions)`` pair is still accepted and
+    merged into one config.  Returns a dict with ``markdown`` (the
+    report text) and ``data`` (all numbers, JSON-serializable).  When
+    ``out_dir`` is given, writes ``report.md`` and ``report.json``
+    there.
     """
-    setup = setup or ExperimentSetup()
-    options = options or ReportOptions()
+    setup = _as_config(setup, options)
+    options = setup
     sections: list[str] = [
         "# Reproduction report — Adapting to Bandwidth Variations in "
         "Wide-Area Data Combination (ICDCS 1998)",

@@ -10,19 +10,23 @@ import numpy as np
 from repro.engine.config import Algorithm
 from repro.engine.metrics import RunMetrics
 from repro.engine.simulation import run_simulation
-from repro.experiments.config import ExperimentSetup, build_spec
+from repro.experiments.config import ExperimentConfig, build_spec
 from repro.experiments.parallel import run_sweep
 
 
 def run_configuration(
-    setup: ExperimentSetup,
+    setup: ExperimentConfig,
     config_index: int,
     algorithm: Algorithm,
+    tracer=None,
     **overrides,
 ) -> RunMetrics:
-    """Simulate one algorithm on one network configuration."""
+    """Simulate one algorithm on one network configuration.
+
+    Pass a :class:`repro.obs.Tracer` to record the run's event stream.
+    """
     spec = build_spec(setup, config_index, algorithm, **overrides)
-    return run_simulation(spec)
+    return run_simulation(spec, tracer=tracer)
 
 
 @dataclass
@@ -81,7 +85,7 @@ class AlgorithmSummary:
 
 
 def compare_algorithms(
-    setup: ExperimentSetup,
+    setup: ExperimentConfig,
     algorithms: Sequence[Algorithm],
     n_configs: int,
     progress: Optional[callable] = None,

@@ -26,6 +26,14 @@ from repro.monitor.piggyback import (
 )
 from repro.net.message import Message, MessageKind
 from repro.net.network import Network, TransferObservation
+from repro.obs.events import (
+    MONITOR_ESTIMATE,
+    MONITOR_PASSIVE,
+    MONITOR_PIGGYBACK,
+    MONITOR_PROBE,
+    MONITOR_PROBE_RESULT,
+)
+from repro.obs.tracer import ensure_tracer
 
 #: 16 KB, the paper's passive-monitoring threshold and probe size.
 DEFAULT_S_THRES = 16 * 1024
@@ -84,11 +92,15 @@ class MonitoringSystem:
     """Wires the paper's monitoring model onto a network."""
 
     def __init__(
-        self, network: Network, config: Optional[MonitoringConfig] = None
+        self,
+        network: Network,
+        config: Optional[MonitoringConfig] = None,
+        tracer=None,
     ) -> None:
         self.network = network
         self.config = config or MonitoringConfig()
         self.stats = MonitoringStats()
+        self._tracer = ensure_tracer(tracer)
         self.caches: dict[str, BandwidthCache] = {
             name: BandwidthCache(self.config.t_thres, self.config.smoothing) for name in network.hosts
         }
@@ -160,14 +172,25 @@ class MonitoringSystem:
         self.cache_for(obs.src_host).update(obs.src_host, obs.dst_host, bandwidth, now)
         self.cache_for(obs.dst_host).update(obs.src_host, obs.dst_host, bandwidth, now)
         self.stats.passive_measurements += 1
+        if self._tracer.enabled:
+            self._tracer.emit(
+                MONITOR_PASSIVE,
+                now,
+                a=obs.src_host,
+                b=obs.dst_host,
+                bandwidth=bandwidth,
+            )
 
     def _piggyback_source(self, src: str, dst: str) -> Optional[dict]:
         return encode_piggyback(self.cache_for(src), self.config.piggyback_budget)
 
     def _piggyback_sink(self, dst: str, piggyback: dict) -> None:
-        self.stats.piggyback_entries_merged += decode_piggyback(
-            self.cache_for(dst), piggyback
-        )
+        merged = decode_piggyback(self.cache_for(dst), piggyback)
+        self.stats.piggyback_entries_merged += merged
+        if self._tracer.enabled:
+            self._tracer.emit(
+                MONITOR_PIGGYBACK, self.network.env.now, host=dst, merged=merged
+            )
 
     # -- queries ------------------------------------------------------------
     def estimate(self, viewer: str, a: str, b: str, now: float) -> Estimate:
@@ -179,12 +202,29 @@ class MonitoringSystem:
         fresh = cache.lookup(a, b, now)
         if fresh is not None:
             value = forecast if forecast is not None else fresh.bandwidth
-            return Estimate(value, fresh.age(now), "fresh")
-        stale = cache.lookup_any(a, b)
-        if stale is not None:
-            value = forecast if forecast is not None else stale.bandwidth
-            return Estimate(value, stale.age(now), "stale")
-        return Estimate(self.config.default_estimate, float("inf"), "default")
+            result = Estimate(value, fresh.age(now), "fresh")
+        else:
+            stale = cache.lookup_any(a, b)
+            if stale is not None:
+                value = forecast if forecast is not None else stale.bandwidth
+                result = Estimate(value, stale.age(now), "stale")
+            else:
+                result = Estimate(
+                    self.config.default_estimate, float("inf"), "default"
+                )
+        tracer = self._tracer
+        if tracer.enabled:
+            tracer.emit(
+                MONITOR_ESTIMATE,
+                now,
+                viewer=viewer,
+                a=a,
+                b=b,
+                quality=result.quality,
+                age=result.age if result.age != float("inf") else None,
+            )
+            tracer.incr("monitor.estimate." + result.quality)
+        return result
 
     def seed_snapshot(self, t: float, window: float = 30.0) -> None:
         """Give every host a measurement of every link around time ``t``.
@@ -231,6 +271,14 @@ class MonitoringSystem:
             )
             self.stats.probes_sent += 1
             self.stats.probe_bytes += message.wire_size
+            if self._tracer.enabled:
+                self._tracer.emit(
+                    MONITOR_PROBE,
+                    self.network.env.now,
+                    a=a,
+                    b=b,
+                    bytes=message.wire_size,
+                )
             yield self.network.send(message, src_host=a, dst_host=b)
             # Drain the probe from the target mailbox so it cannot pile up.
             self.network.hosts[b].remove_mailbox(target_actor)
@@ -244,6 +292,15 @@ class MonitoringSystem:
         for host in (a, b):
             # Overwrite (not EWMA) with the multi-sample average.
             self.cache_for(host).force_set(a, b, bandwidth, now)
+        if self._tracer.enabled:
+            self._tracer.emit(
+                MONITOR_PROBE_RESULT,
+                now,
+                a=a,
+                b=b,
+                bandwidth=bandwidth,
+                samples=len(samples),
+            )
         return bandwidth
 
 

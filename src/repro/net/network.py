@@ -29,6 +29,13 @@ from typing import Callable, Iterable, Optional
 from repro.net.host import Host
 from repro.net.link import Link
 from repro.net.message import Message, MessageKind
+from repro.obs.events import (
+    LINK_TRANSFER,
+    MESSAGE_FORWARD,
+    MESSAGE_RECV,
+    MESSAGE_SEND,
+)
+from repro.obs.tracer import ensure_tracer
 from repro.sim import Environment, Event
 
 
@@ -67,8 +74,9 @@ class NetworkStats:
 class Network:
     """A complete graph of hosts with trace-driven links."""
 
-    def __init__(self, env: Environment) -> None:
+    def __init__(self, env: Environment, tracer=None) -> None:
         self.env = env
+        self._tracer = ensure_tracer(tracer)
         self.hosts: dict[str, Host] = {}
         self._links: dict[tuple[str, str], Link] = {}
         self._actor_hosts: dict[str, str] = {}
@@ -190,8 +198,16 @@ class Network:
         message.sent_at = self.env.now
         done = self.env.event()
 
+        tracer = self._tracer
         if src == dst:
             self.stats.local_deliveries += 1
+            if tracer.enabled:
+                tracer.emit(
+                    MESSAGE_SEND,
+                    self.env.now,
+                    transport="local",
+                    **message.trace_fields(),
+                )
             message.delivered_at = self.env.now
             self._deliver(message, dst)
             done.succeed(message)
@@ -200,6 +216,13 @@ class Network:
         if self.piggyback_source is not None and message.piggyback is None:
             message.piggyback = self.piggyback_source(src, dst)
 
+        if tracer.enabled:
+            tracer.emit(
+                MESSAGE_SEND,
+                self.env.now,
+                transport="wire",
+                **message.trace_fields(),
+            )
         self._sequence += 1
         heappush(
             self._waiting,
@@ -247,6 +270,7 @@ class Network:
         dst_node.stats.nic_busy_time += duration
         self.stats.transfers += 1
         self.stats.bytes_on_wire += message.wire_size
+        link.note_transfer(message.wire_size)
 
         observation = TransferObservation(
             src_host=src,
@@ -257,6 +281,21 @@ class Network:
             finished=finished,
             kind=message.kind,
         )
+        tracer = self._tracer
+        if tracer.enabled:
+            tracer.span(
+                LINK_TRANSFER,
+                started,
+                finished,
+                src_host=src,
+                dst_host=dst,
+                kind=message.kind.value,
+                wire_bytes=message.wire_size,
+                bandwidth=observation.measured_bandwidth,
+                uid=message.uid,
+            )
+            tracer.observe("link.transfer_seconds", duration)
+
         for observer in self.observers:
             observer(observation)
         if self.piggyback_sink is not None and message.piggyback is not None:
@@ -269,10 +308,29 @@ class Network:
 
     def _deliver(self, message: Message, arrived_at: str) -> None:
         actual = self._actor_hosts.get(message.dst_actor, arrived_at)
+        tracer = self._tracer
         if actual != arrived_at:
             # The destination actor moved while the message was in flight:
             # forward it (mobile-object runtimes do exactly this).
             self.stats.forwarded += 1
+            if tracer.enabled:
+                tracer.emit(
+                    MESSAGE_FORWARD,
+                    self.env.now,
+                    uid=message.uid,
+                    actor=message.dst_actor,
+                    from_host=arrived_at,
+                    to_host=actual,
+                )
             self.send(message, src_host=arrived_at, dst_host=actual)
             return
+        if tracer.enabled:
+            tracer.emit(
+                MESSAGE_RECV,
+                self.env.now,
+                uid=message.uid,
+                actor=message.dst_actor,
+                host=arrived_at,
+                kind=message.kind.value,
+            )
         self.hosts[arrived_at].mailbox(message.dst_actor).deliver(message)

@@ -1,0 +1,55 @@
+"""repro.obs — structured run-trace observability.
+
+A zero-cost-when-disabled tracing subsystem: hand a :class:`Tracer` to
+:func:`repro.engine.simulation.run_simulation` (or pass ``--trace`` on
+the CLI) and every hot seam of the stack — DES kernel, network links,
+actors, controllers, monitors and planners — records typed span/point
+events plus counters and histograms.  Export as JSONL or a Chrome
+``trace_event`` file (Perfetto-loadable), summarize with ``repro
+trace``, or replay the aggregates via ``RunMetrics.from_trace``.
+
+The default is :data:`NULL_TRACER`, whose methods are no-ops and whose
+``enabled`` is False, so untraced runs pay a single attribute test per
+instrumented site.
+"""
+
+from repro.obs import events
+from repro.obs.events import EVENT_KINDS, SPAN_EVENTS, is_span
+from repro.obs.exporters import (
+    TRACE_SCHEMA,
+    events_only,
+    read_jsonl,
+    to_chrome,
+    trace_counters,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.summary import (
+    TraceSummary,
+    format_trace_summary,
+    replay_aggregates,
+    summarize_records,
+)
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer, ensure_tracer
+
+__all__ = [
+    "events",
+    "EVENT_KINDS",
+    "SPAN_EVENTS",
+    "is_span",
+    "TRACE_SCHEMA",
+    "events_only",
+    "read_jsonl",
+    "to_chrome",
+    "trace_counters",
+    "write_chrome_trace",
+    "write_jsonl",
+    "TraceSummary",
+    "format_trace_summary",
+    "replay_aggregates",
+    "summarize_records",
+    "NULL_TRACER",
+    "NullTracer",
+    "Tracer",
+    "ensure_tracer",
+]

@@ -1,0 +1,133 @@
+"""The run-trace event taxonomy.
+
+Every trace record is a flat JSON-serializable dict with at least a
+``"type"`` (one of the constants below) and a ``"t"`` (simulation time in
+seconds).  *Span* events additionally carry ``"dur"`` (seconds); *point*
+events do not.  The remaining fields are type-specific and documented
+here; exporters and the summarizer rely only on the fields listed.
+
+Point events
+------------
+
+``message.send``
+    A message handed to the transport.  Fields: ``uid``, ``kind``,
+    ``src_actor``, ``dst_actor``, ``src_host``, ``dst_host``, ``bytes``
+    (payload size) and ``transport`` (``"wire"`` or ``"local"``).
+``message.recv``
+    Final delivery into the destination actor's mailbox.  Fields:
+    ``uid``, ``actor``, ``host``, ``kind``.
+``message.forward``
+    The destination actor moved while the message was in flight; the
+    message pays for another hop.  Fields: ``uid``, ``actor``,
+    ``from_host``, ``to_host``.
+``relocation``
+    One actor move (operator, or replica-switching server).  Fields:
+    ``actor``, ``old_host``, ``new_host``, ``state_bytes``.
+``planner.run``
+    A controller executed one planning round (this is the event
+    :attr:`~repro.engine.metrics.RunMetrics.planner_runs` counts).
+    Fields: ``algorithm`` and, for the local algorithm, ``actor``.
+``planner.search``
+    One invocation of a :class:`~repro.placement.base.Planner`'s search
+    (the global controller may search several times per planning round).
+    Fields: ``algorithm``, ``rounds``, ``candidates``, ``links``,
+    ``cost``.
+``placement.install``
+    The global controller committed a new placement.  Fields:
+    ``plan_seq``, ``moves`` (actors whose host changes).
+``monitor.estimate``
+    A bandwidth-estimate query answered from a host's cache.  Fields:
+    ``viewer``, ``a``, ``b``, ``quality`` (``"fresh"``/``"stale"``/
+    ``"default"``), ``age``.
+``monitor.passive``
+    A passive measurement recorded from a large-enough transfer.
+    Fields: ``a``, ``b``, ``bandwidth``.
+``monitor.probe``
+    One active probe message sent.  Fields: ``a``, ``b``, ``bytes``.
+``monitor.probe_result``
+    The (multi-sample averaged) outcome of an active probe.  Fields:
+    ``a``, ``b``, ``bandwidth``, ``samples``.
+``monitor.piggyback``
+    Piggybacked cache entries merged at a receiving host.  Fields:
+    ``host``, ``merged``.
+``arrival``
+    A composed image reached the client.  Fields: ``iteration``.
+``run.meta``
+    First event of a run: ``algorithm``, ``num_servers``, ``images``,
+    ``tree_shape``, ``hosts``.
+``run.end``
+    Last event of a run: ``truncated``, ``images_delivered``,
+    ``completion_time``.
+
+Span events
+-----------
+
+``link.transfer``
+    One wire transfer occupying both endpoints' NICs.  Fields:
+    ``src_host``, ``dst_host``, ``kind``, ``wire_bytes``, ``bandwidth``
+    (the observed application-level bandwidth fed to monitors), ``uid``.
+``barrier.round``
+    One full barrier change-over, from the PREPARE fan-out until every
+    actor was committed.  Fields: ``plan_seq``.  ``dur`` is the stall
+    :attr:`~repro.engine.metrics.RunMetrics.barrier_stall_seconds`
+    accumulates.
+``barrier.suspend``
+    One server's suspension window between its PREPARE and COMMIT.
+    Fields: ``actor``, ``plan_seq``.
+``compute``
+    An operator composing its inputs.  Fields: ``actor``, ``host``,
+    ``iteration``.
+"""
+
+from __future__ import annotations
+
+MESSAGE_SEND = "message.send"
+MESSAGE_RECV = "message.recv"
+MESSAGE_FORWARD = "message.forward"
+LINK_TRANSFER = "link.transfer"
+RELOCATION = "relocation"
+BARRIER_ROUND = "barrier.round"
+BARRIER_SUSPEND = "barrier.suspend"
+PLANNER_RUN = "planner.run"
+PLANNER_SEARCH = "planner.search"
+PLACEMENT_INSTALL = "placement.install"
+MONITOR_ESTIMATE = "monitor.estimate"
+MONITOR_PASSIVE = "monitor.passive"
+MONITOR_PROBE = "monitor.probe"
+MONITOR_PROBE_RESULT = "monitor.probe_result"
+MONITOR_PIGGYBACK = "monitor.piggyback"
+COMPUTE = "compute"
+ARRIVAL = "arrival"
+RUN_META = "run.meta"
+RUN_END = "run.end"
+
+#: Event type -> "point" | "span".  Exporters use this to pick the Chrome
+#: ``trace_event`` phase; anything absent defaults to "point".
+EVENT_KINDS: dict[str, str] = {
+    MESSAGE_SEND: "point",
+    MESSAGE_RECV: "point",
+    MESSAGE_FORWARD: "point",
+    LINK_TRANSFER: "span",
+    RELOCATION: "point",
+    BARRIER_ROUND: "span",
+    BARRIER_SUSPEND: "span",
+    PLANNER_RUN: "point",
+    PLANNER_SEARCH: "point",
+    PLACEMENT_INSTALL: "point",
+    MONITOR_ESTIMATE: "point",
+    MONITOR_PASSIVE: "point",
+    MONITOR_PROBE: "point",
+    MONITOR_PROBE_RESULT: "point",
+    MONITOR_PIGGYBACK: "point",
+    COMPUTE: "span",
+    ARRIVAL: "point",
+    RUN_META: "point",
+    RUN_END: "point",
+}
+
+SPAN_EVENTS = frozenset(k for k, v in EVENT_KINDS.items() if v == "span")
+
+
+def is_span(event_type: str) -> bool:
+    """True if ``event_type`` is a span (has a duration)."""
+    return event_type in SPAN_EVENTS

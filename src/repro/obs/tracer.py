@@ -1,0 +1,132 @@
+"""The tracer: an in-memory event bus with counters and histograms.
+
+Two implementations share one interface:
+
+* :class:`Tracer` — records everything; hand one to
+  :func:`repro.engine.simulation.run_simulation` (or ``repro run
+  --trace``) and export with :mod:`repro.obs.exporters`.
+* :class:`NullTracer` — the default.  ``enabled`` is False and every
+  method is a no-op, so instrumentation sites can guard their payload
+  construction with ``if tracer.enabled:`` and cost nothing when tracing
+  is off.  :data:`NULL_TRACER` is the shared singleton.
+
+Events are plain dicts (see :mod:`repro.obs.events` for the taxonomy);
+counters are monotonically increasing integers/floats; histograms collect
+raw float observations and summarize on export.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Optional
+
+
+class Tracer:
+    """Recording tracer: typed span/point events, counters, histograms."""
+
+    __slots__ = ("events", "counters", "meta", "_histograms")
+
+    #: Instrumentation sites test this before building event payloads.
+    enabled = True
+
+    def __init__(self) -> None:
+        #: Chronological event records (dicts with ``type`` and ``t``).
+        self.events: list[dict[str, Any]] = []
+        #: Monotonic counters, e.g. ``sim.events``.
+        self.counters: dict[str, float] = {}
+        #: Free-form run metadata (exported in the JSONL header).
+        self.meta: dict[str, Any] = {}
+        self._histograms: dict[str, list[float]] = {}
+
+    # -- events -------------------------------------------------------------
+    def emit(self, event_type: str, t: float, **fields: Any) -> None:
+        """Record a point event at simulation time ``t``."""
+        self.events.append({"type": event_type, "t": t, **fields})
+
+    def span(
+        self, event_type: str, start: float, end: float, **fields: Any
+    ) -> None:
+        """Record a span event covering ``[start, end]``."""
+        self.events.append(
+            {"type": event_type, "t": start, "dur": end - start, **fields}
+        )
+
+    # -- counters & histograms ---------------------------------------------
+    def incr(self, name: str, value: float = 1) -> None:
+        """Add ``value`` to counter ``name`` (creating it at zero)."""
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation into histogram ``name``."""
+        self._histograms.setdefault(name, []).append(value)
+
+    def histogram_summary(self) -> dict[str, dict[str, float]]:
+        """Per-histogram count/min/max/mean/p50/p95."""
+        summary: dict[str, dict[str, float]] = {}
+        for name, values in self._histograms.items():
+            ordered = sorted(values)
+            n = len(ordered)
+            summary[name] = {
+                "count": n,
+                "min": ordered[0],
+                "max": ordered[-1],
+                "mean": math.fsum(ordered) / n,
+                "p50": ordered[(n - 1) // 2],
+                "p95": ordered[min(n - 1, math.ceil(0.95 * n) - 1)],
+            }
+        return summary
+
+    # -- kernel hook --------------------------------------------------------
+    def kernel_hook(self, now: float, event: Any) -> None:
+        """Per-step hook for :class:`repro.sim.Environment`.
+
+        Counts processed calendar events overall and by event class —
+        cheap enough to run on every step of a *traced* run, and never
+        installed on an untraced one.
+        """
+        counters = self.counters
+        counters["sim.events"] = counters.get("sim.events", 0) + 1
+        key = "sim.events." + type(event).__name__
+        counters[key] = counters.get(key, 0) + 1
+
+
+class NullTracer:
+    """The do-nothing default tracer.
+
+    ``enabled`` is False; hot paths guard with ``if tracer.enabled:`` and
+    skip payload construction entirely, so an untraced run pays only that
+    one attribute test per instrumented site.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+
+    def emit(self, event_type: str, t: float, **fields: Any) -> None:
+        pass
+
+    def span(
+        self, event_type: str, start: float, end: float, **fields: Any
+    ) -> None:
+        pass
+
+    def incr(self, name: str, value: float = 1) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+    def histogram_summary(self) -> dict[str, dict[str, float]]:
+        return {}
+
+    def kernel_hook(self, now: float, event: Any) -> None:
+        pass
+
+
+#: Shared no-op tracer: the default everywhere a tracer is accepted.
+NULL_TRACER = NullTracer()
+
+
+def ensure_tracer(tracer: "Optional[Tracer | NullTracer]") -> "Tracer | NullTracer":
+    """``tracer`` if given, else the shared :data:`NULL_TRACER`."""
+    return NULL_TRACER if tracer is None else tracer

@@ -1,38 +1,87 @@
 """The paper's placement algorithms (§2).
 
-Four policies:
+Four policies, all implementing the :class:`~repro.placement.base.Planner`
+protocol (construct them uniformly with :func:`planner_for`):
 
-* :func:`~repro.placement.download_all.download_all_placement` — every
+* :class:`~repro.placement.download_all.DownloadAllPlanner` — every
   operator at the client; the paper's base case ("currently the dominant
   mode of combining data over wide-area networks").
+  :func:`~repro.placement.download_all.download_all_placement` builds the
+  placement itself.
 * :class:`~repro.placement.one_shot.OneShotPlanner` — iterative critical-
   path shortening from the download-all start, run once at t=0 (§2.1).
 * :class:`~repro.placement.global_planner.GlobalPlanner` — the one-shot
   procedure warm-started from the *current* placement; used periodically
   by the centralized on-line algorithm (§2.2).  The run-time barrier
   coordination lives in :mod:`repro.engine`.
-* :mod:`~repro.placement.local_rules` — the pure decision rules of the
+* :class:`~repro.placement.local_rules.LocalRulesPlanner` — the
   distributed local algorithm (§2.3): critical-path self-detection from
-  "later" marks and local-critical-path site selection.  The epoch
+  "later" marks and local-critical-path site selection, packaged as
+  pure decision rules plus a wavefront-pass ``plan``.  The epoch
   wavefront and vector propagation live in :mod:`repro.engine`.
 """
 
-from repro.placement.base import PlanResult
-from repro.placement.download_all import download_all_placement
+from typing import Optional, Sequence
+
+from repro.dataflow.cost import CostModel
+from repro.dataflow.tree import CombinationTree
+from repro.placement.base import Planner, PlanResult
+from repro.placement.download_all import DownloadAllPlanner, download_all_placement
 from repro.placement.one_shot import OneShotPlanner
 from repro.placement.global_planner import GlobalPlanner
 from repro.placement.local_rules import (
+    LocalRulesPlanner,
     LocalSiteDecision,
     choose_local_site,
     is_on_critical_path,
 )
 
+
+def planner_for(
+    algorithm,
+    tree: CombinationTree,
+    hosts: Sequence[str],
+    cost_model: CostModel,
+    *,
+    server_replicas: "Optional[dict[str, tuple[str, ...]]]" = None,
+    max_rounds: int = 200,
+    extra_candidates: int = 0,
+) -> Planner:
+    """Construct the planner for an algorithm name (or enum).
+
+    ``algorithm`` may be a string (``"download-all"``, ``"one-shot"``,
+    ``"global"``, ``"local"``) or anything with a matching ``.value``
+    (e.g. :class:`repro.engine.config.Algorithm`); keying on the value
+    keeps this module import-independent of the engine.
+    """
+    key = getattr(algorithm, "value", algorithm)
+    if key == OneShotPlanner.name:
+        return OneShotPlanner(
+            tree, hosts, cost_model, max_rounds, server_replicas
+        )
+    if key == GlobalPlanner.name:
+        return GlobalPlanner(
+            tree, hosts, cost_model, max_rounds, server_replicas
+        )
+    if key == LocalRulesPlanner.name:
+        return LocalRulesPlanner(
+            tree, hosts, cost_model, extra_candidates=extra_candidates
+        )
+    if key == DownloadAllPlanner.name:
+        return DownloadAllPlanner(tree, hosts, cost_model)
+    raise ValueError(f"unknown placement algorithm {algorithm!r}")
+
+
 __all__ = [
+    "DownloadAllPlanner",
     "GlobalPlanner",
+    "LocalRulesPlanner",
     "LocalSiteDecision",
     "OneShotPlanner",
+    "Planner",
     "PlanResult",
     "choose_local_site",
     "download_all_placement",
     "is_on_critical_path",
+    "planner_for",
 ]

@@ -1,9 +1,19 @@
-"""Shared plumbing for the placement planners."""
+"""Shared plumbing for the placement planners.
+
+Every placement policy — one-shot, global, local rules, download-all —
+implements the :class:`Planner` protocol: a ``name`` and one uniform
+``plan`` entry point taking a bandwidth estimator and the placement to
+start from.  The engine (``engine/simulation.py``, the controllers) and
+experiment drivers dispatch through this interface via
+:func:`repro.placement.planner_for` instead of per-algorithm branches.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional, Protocol, runtime_checkable
 
+from repro.dataflow.cost import BandwidthEstimator
 from repro.dataflow.placement import Placement
 
 
@@ -20,3 +30,29 @@ class PlanResult:
     candidates_evaluated: int
     #: Distinct host pairs whose bandwidth the search consulted.
     links_queried: frozenset[tuple[str, str]] = field(default_factory=frozenset)
+    #: Name of the planner that produced this result.
+    algorithm: str = ""
+
+
+@runtime_checkable
+class Planner(Protocol):
+    """The uniform planning interface all four placement policies share.
+
+    ``plan`` searches for a placement starting from ``initial`` using
+    ``estimator`` for pairwise bandwidths.  ``seed`` feeds any randomized
+    choices (only the local rules use it); ``tracer`` receives a
+    ``planner.search`` event per invocation; ``now`` is the simulation
+    time to stamp on emitted events.
+    """
+
+    name: str
+
+    def plan(
+        self,
+        estimator: BandwidthEstimator,
+        initial: Placement,
+        *,
+        seed: Optional[int] = None,
+        tracer=None,
+        now: float = 0.0,
+    ) -> PlanResult: ...

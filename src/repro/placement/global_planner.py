@@ -8,17 +8,22 @@ periodically; the engine's barrier protocol installs the results.
 
 from __future__ import annotations
 
-from typing import Sequence
+from dataclasses import replace
+from typing import Optional, Sequence
 
 from repro.dataflow.cost import BandwidthEstimator, CostModel
 from repro.dataflow.placement import Placement
 from repro.dataflow.tree import CombinationTree
+from repro.obs.events import PLANNER_SEARCH
+from repro.obs.tracer import ensure_tracer
 from repro.placement.base import PlanResult
 from repro.placement.one_shot import OneShotPlanner
 
 
 class GlobalPlanner:
     """Periodic re-planning warm-started from the running placement."""
+
+    name = "global"
 
     def __init__(
         self,
@@ -45,7 +50,28 @@ class GlobalPlanner:
         return self._one_shot.cost_model
 
     def plan(
-        self, estimator: BandwidthEstimator, current: Placement
+        self,
+        estimator: BandwidthEstimator,
+        initial: Placement,
+        *,
+        seed: Optional[int] = None,
+        tracer=None,
+        now: float = 0.0,
     ) -> PlanResult:
         """One re-planning round from the *current* placement."""
-        return self._one_shot.plan(estimator, initial=current)
+        result = replace(
+            self._one_shot.plan(estimator, initial=initial, seed=seed),
+            algorithm=self.name,
+        )
+        tracer = ensure_tracer(tracer)
+        if tracer.enabled:
+            tracer.emit(
+                PLANNER_SEARCH,
+                now,
+                algorithm=self.name,
+                rounds=result.rounds,
+                candidates=result.candidates_evaluated,
+                links=len(result.links_queried),
+                cost=result.cost,
+            )
+        return result

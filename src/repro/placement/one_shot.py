@@ -28,6 +28,8 @@ from repro.dataflow.cost import BandwidthEstimator, CostModel, RecordingEstimato
 from repro.dataflow.critical import SingleMoveEvaluator, critical_path
 from repro.dataflow.placement import Placement
 from repro.dataflow.tree import CombinationTree
+from repro.obs.events import PLANNER_SEARCH
+from repro.obs.tracer import ensure_tracer
 from repro.placement.base import PlanResult
 
 
@@ -53,6 +55,8 @@ class OneShotPlanner:
         search treats them as movable among those hosts (the paper's
         assumption 3 relaxed).
     """
+
+    name = "one-shot"
 
     def __init__(
         self,
@@ -83,8 +87,16 @@ class OneShotPlanner:
         self,
         estimator: BandwidthEstimator,
         initial: Placement,
+        *,
+        seed: "Optional[int]" = None,
+        tracer=None,
+        now: float = 0.0,
     ) -> PlanResult:
-        """Run the search from ``initial`` using ``estimator`` for bandwidths."""
+        """Run the search from ``initial`` using ``estimator`` for bandwidths.
+
+        ``seed`` is accepted for :class:`~repro.placement.base.Planner`
+        uniformity (the search is deterministic and ignores it).
+        """
         recorder = RecordingEstimator(estimator)
         current = initial
         current_cost = critical_path(
@@ -119,12 +131,24 @@ class OneShotPlanner:
             else:
                 break
 
+        tracer = ensure_tracer(tracer)
+        if tracer.enabled:
+            tracer.emit(
+                PLANNER_SEARCH,
+                now,
+                algorithm=self.name,
+                rounds=rounds,
+                candidates=candidates,
+                links=len(recorder.queried),
+                cost=current_cost,
+            )
         return PlanResult(
             placement=current,
             cost=current_cost,
             rounds=rounds,
             candidates_evaluated=candidates,
             links_queried=frozenset(recorder.queried),
+            algorithm=self.name,
         )
 
     def _candidate_moves(

@@ -27,13 +27,17 @@ class Environment:
         Starting value of the simulation clock (seconds).
     """
 
-    __slots__ = ("_now", "_queue", "_eid", "_active_process")
+    __slots__ = ("_now", "_queue", "_eid", "_active_process", "trace_hook")
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, int, Event]] = []
         self._eid = 0
         self._active_process: Optional["Process"] = None
+        #: Observability hook ``(now, event) -> None`` invoked per processed
+        #: event.  None (the default) keeps the hot loop untouched; traced
+        #: runs install :meth:`repro.obs.Tracer.kernel_hook` here.
+        self.trace_hook: Optional[typing.Callable[[float, Event], None]] = None
 
     # -- clock & calendar ---------------------------------------------------
     @property
@@ -65,6 +69,9 @@ class Environment:
             self._now, _, _, event = heappop(self._queue)
         except IndexError:
             raise SimulationError("no scheduled events") from None
+
+        if self.trace_hook is not None:
+            self.trace_hook(self._now, event)
 
         callbacks, event.callbacks = event.callbacks, None
         assert callbacks is not None, "event processed twice"
@@ -110,21 +117,37 @@ class Environment:
 
         # The hot loop: step() inlined with the queue, heappop and the
         # exception types bound locally.  Sweeps spend the bulk of their
-        # time here, so every attribute lookup per event counts.
+        # time here, so every attribute lookup per event counts.  The
+        # traced variant exists so untraced runs pay nothing — not even a
+        # per-event None test.
         queue = self._queue
         pop = heappop
         failed = EventFailed
+        hook = self.trace_hook
         try:
-            while queue:
-                self._now, _, _, event = pop(queue)
-                callbacks, event.callbacks = event.callbacks, None
-                for callback in callbacks:  # type: ignore[union-attr]
-                    callback(event)
-                if not event._ok and not event.defused:
-                    exc = typing.cast(BaseException, event._value)
-                    raise failed(
-                        f"unhandled failure in {event!r}: {exc!r}"
-                    ) from exc
+            if hook is None:
+                while queue:
+                    self._now, _, _, event = pop(queue)
+                    callbacks, event.callbacks = event.callbacks, None
+                    for callback in callbacks:  # type: ignore[union-attr]
+                        callback(event)
+                    if not event._ok and not event.defused:
+                        exc = typing.cast(BaseException, event._value)
+                        raise failed(
+                            f"unhandled failure in {event!r}: {exc!r}"
+                        ) from exc
+            else:
+                while queue:
+                    self._now, _, _, event = pop(queue)
+                    hook(self._now, event)
+                    callbacks, event.callbacks = event.callbacks, None
+                    for callback in callbacks:  # type: ignore[union-attr]
+                        callback(event)
+                    if not event._ok and not event.defused:
+                        exc = typing.cast(BaseException, event._value)
+                        raise failed(
+                            f"unhandled failure in {event!r}: {exc!r}"
+                        ) from exc
         except StopSimulation as stop:
             return stop.value
 

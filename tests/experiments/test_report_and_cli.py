@@ -122,6 +122,64 @@ class TestCli:
         assert code == 0
         assert (tmp_path / "report.md").exists()
 
+    def test_run_with_trace_exports(self, tmp_path, capsys):
+        jsonl = tmp_path / "run.jsonl"
+        chrome = tmp_path / "run.chrome.json"
+        code = main(
+            [
+                "run",
+                "--servers", "4",
+                "--images", "6",
+                "--algorithm", "global",
+                "--trace", str(jsonl),
+                "--chrome-trace", str(chrome),
+            ]
+        )
+        assert code == 0
+        records = [
+            json.loads(line) for line in jsonl.read_text().splitlines()
+        ]
+        assert records[0]["type"] == "trace.header"
+        assert records[-1]["type"] == "trace.footer"
+        assert json.loads(chrome.read_text())["traceEvents"]
+
+    def test_trace_command_summarizes(self, tmp_path, capsys):
+        jsonl = tmp_path / "run.jsonl"
+        main(
+            [
+                "run",
+                "--servers", "4",
+                "--images", "6",
+                "--algorithm", "global",
+                "--trace", str(jsonl),
+            ]
+        )
+        capsys.readouterr()
+        assert main(["trace", str(jsonl)]) == 0
+        out = capsys.readouterr().out
+        assert "relocation timeline" in out
+        assert "per-link traffic" in out
+        assert "barrier:" in out
+
+    def test_compare_with_trace_dir(self, tmp_path, capsys):
+        code = main(
+            [
+                "compare",
+                "--servers", "4",
+                "--images", "6",
+                "--configs", "1",
+                "--trace", str(tmp_path / "traces"),
+            ]
+        )
+        assert code == 0
+        written = sorted(p.name for p in (tmp_path / "traces").iterdir())
+        assert written == [
+            "config0-download-all.jsonl",
+            "config0-global.jsonl",
+            "config0-local.jsonl",
+            "config0-one-shot.jsonl",
+        ]
+
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])

@@ -1,0 +1,100 @@
+"""The unified ExperimentConfig and its deprecated aliases."""
+
+from __future__ import annotations
+
+import pickle
+import warnings
+from dataclasses import replace
+
+import pytest
+
+from repro.engine.metrics import SUMMARY_SCHEMA, RunMetrics
+from repro.experiments import ExperimentConfig, ExperimentSetup
+from repro.experiments.persistence import metrics_from_dict, metrics_to_dict
+from repro.experiments.report import ReportOptions, _as_config
+
+
+class TestExperimentConfig:
+    def test_carries_workload_and_report_knobs(self):
+        config = ExperimentConfig(num_servers=4, n_configs=12, workers=2)
+        assert config.server_hosts == ("h0", "h1", "h2", "h3")
+        assert config.n_configs == 12
+        assert config.workers == 2
+
+    def test_no_deprecation_warning(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            ExperimentConfig(num_servers=4)
+
+    def test_configs_for_default_and_override(self):
+        config = ExperimentConfig(n_configs=30)
+        assert config.configs_for("fig8") == 10
+        assert replace(config, fig8_configs=3).configs_for("fig8") == 3
+        assert ExperimentConfig(n_configs=3).configs_for("fig9") == 2
+
+
+class TestDeprecatedAliases:
+    def test_experiment_setup_warns_and_still_works(self):
+        with pytest.warns(DeprecationWarning, match="ExperimentSetup"):
+            setup = ExperimentSetup(num_servers=4)
+        assert isinstance(setup, ExperimentConfig)
+        assert setup.num_servers == 4
+        assert setup.client_host == "client"
+
+    def test_experiment_setup_pickles_without_warning(self):
+        with pytest.warns(DeprecationWarning):
+            setup = ExperimentSetup(num_servers=4)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            copy = pickle.loads(pickle.dumps(setup))
+        assert copy == setup
+
+    def test_report_options_warns(self):
+        with pytest.warns(DeprecationWarning, match="ReportOptions"):
+            ReportOptions(n_configs=5)
+
+    def test_legacy_pair_merges_into_one_config(self):
+        with pytest.warns(DeprecationWarning):
+            setup = ExperimentSetup(num_servers=4, images_per_server=10)
+            options = ReportOptions(n_configs=7, include_fig9=False)
+        config = _as_config(setup, options)
+        assert type(config) is ExperimentConfig
+        assert config.num_servers == 4
+        assert config.images_per_server == 10
+        assert config.n_configs == 7
+        assert config.include_fig9 is False
+
+    def test_modern_config_passes_through(self):
+        config = ExperimentConfig(num_servers=4)
+        assert _as_config(config, None) is config
+        assert _as_config(None, None) == ExperimentConfig()
+
+
+class TestSummarySchemaVersions:
+    def test_summary_declares_schema(self):
+        assert RunMetrics().summary()["schema"] == SUMMARY_SCHEMA == 2
+
+    def test_reader_accepts_v2(self):
+        metrics = RunMetrics(algorithm="global", transfers=9,
+                             local_deliveries=4, passive_measurements=2,
+                             piggyback_entries_merged=7)
+        rebuilt = metrics_from_dict(metrics_to_dict(metrics))
+        assert rebuilt.transfers == 9
+        assert rebuilt.piggyback_entries_merged == 7
+
+    def test_reader_accepts_v1(self):
+        payload = metrics_to_dict(RunMetrics(algorithm="local", relocations=3))
+        del payload["schema"]
+        for key in ("transfers", "local_deliveries", "passive_measurements",
+                    "piggyback_entries_merged", "median_gap"):
+            payload.pop(key, None)
+        rebuilt = metrics_from_dict(payload)
+        assert rebuilt.algorithm == "local"
+        assert rebuilt.relocations == 3
+        assert rebuilt.transfers == 0
+
+    def test_reader_rejects_unknown_schema(self):
+        payload = metrics_to_dict(RunMetrics())
+        payload["schema"] = 99
+        with pytest.raises(ValueError, match="schema"):
+            metrics_from_dict(payload)

@@ -1,0 +1,65 @@
+"""Replaying a recorded trace must reproduce the live run's metrics.
+
+Every trace event is emitted at the exact code point where the matching
+counter increments, so a seeded run's JSONL archive replays to a
+:class:`RunMetrics` that matches the live one field-for-field — the
+paper-facing aggregates and the event stream cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.engine.config import Algorithm
+from repro.engine.metrics import RunMetrics
+from repro.engine.simulation import run_simulation
+from repro.obs import Tracer, summarize_records, write_jsonl
+from tests.conftest import tiny_spec
+
+
+def _assert_summaries_match(live: RunMetrics, replayed: RunMetrics) -> None:
+    live_summary, replay_summary = live.summary(), replayed.summary()
+    for key, value in live_summary.items():
+        other = replay_summary[key]
+        if isinstance(value, float) and math.isnan(value):
+            assert math.isnan(other), key
+        else:
+            assert other == value, key
+
+
+@pytest.mark.parametrize("algorithm", list(Algorithm), ids=lambda a: a.value)
+def test_replay_matches_live_metrics(algorithm, tmp_path):
+    tracer = Tracer()
+    live = run_simulation(tiny_spec(algorithm=algorithm, images=5), tracer=tracer)
+    path = tmp_path / "run.jsonl"
+    write_jsonl(tracer, path)
+
+    replayed = RunMetrics.from_trace(str(path))
+    _assert_summaries_match(live, replayed)
+    assert replayed.arrival_times == live.arrival_times
+    assert replayed.relocation_events == live.relocation_events
+
+
+def test_from_trace_accepts_records():
+    tracer = Tracer()
+    live = run_simulation(tiny_spec(algorithm=Algorithm.GLOBAL, images=4),
+                          tracer=tracer)
+    replayed = RunMetrics.from_trace(tracer.events)
+    _assert_summaries_match(live, replayed)
+
+
+def test_trace_summary_consistent_with_metrics():
+    tracer = Tracer()
+    live = run_simulation(tiny_spec(algorithm=Algorithm.GLOBAL, images=4),
+                          tracer=tracer)
+    summary = summarize_records(tracer.events)
+    assert summary.arrivals == len(live.arrival_times)
+    assert summary.completion_time == live.completion_time
+    assert len(summary.relocations) == live.relocations
+    assert summary.barrier_stall_seconds == pytest.approx(
+        live.barrier_stall_seconds
+    )
+    wire_bytes = sum(v[1] for v in summary.link_traffic.values())
+    assert wire_bytes == pytest.approx(live.bytes_on_wire)

@@ -1,0 +1,108 @@
+"""All four placement algorithms conform to the Planner protocol."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.dataflow.cost import CostModel, expected_output_sizes
+from repro.dataflow.tree import complete_binary_tree
+from repro.engine.config import Algorithm
+from repro.obs import Tracer
+from repro.obs.events import PLANNER_SEARCH
+from repro.placement import (
+    DownloadAllPlanner,
+    GlobalPlanner,
+    LocalRulesPlanner,
+    OneShotPlanner,
+    Planner,
+    PlanResult,
+    download_all_placement,
+    planner_for,
+)
+
+HOSTS = ["h0", "h1", "h2", "h3", "client"]
+
+
+def make_problem():
+    tree = complete_binary_tree(4)
+    sizes = expected_output_sizes(tree, 100 * 1024.0, 0.1)
+    cost_model = CostModel(tree, sizes, startup_cost=1.0, disk_rate=1e9)
+    server_hosts = {
+        server.node_id: f"h{i}" for i, server in enumerate(tree.servers())
+    }
+    initial = download_all_placement(tree, server_hosts, "client")
+    return tree, cost_model, initial
+
+
+def estimator(a: str, b: str) -> float:
+    return 50 * 1024.0
+
+
+@pytest.mark.parametrize("algorithm", list(Algorithm), ids=lambda a: a.value)
+class TestProtocolConformance:
+    def test_factory_builds_conforming_planner(self, algorithm):
+        tree, cost_model, initial = make_problem()
+        planner = planner_for(algorithm, tree, HOSTS, cost_model)
+        assert isinstance(planner, Planner)
+        assert planner.name == algorithm.value
+
+    def test_plan_returns_labelled_result(self, algorithm):
+        tree, cost_model, initial = make_problem()
+        planner = planner_for(algorithm, tree, HOSTS, cost_model)
+        result = planner.plan(estimator, initial, seed=7)
+        assert isinstance(result, PlanResult)
+        assert result.algorithm == algorithm.value
+        assert math.isfinite(result.cost)
+        assert set(result.placement.as_dict()) == set(initial.as_dict())
+
+    def test_plan_is_deterministic(self, algorithm):
+        tree, cost_model, initial = make_problem()
+        planner = planner_for(algorithm, tree, HOSTS, cost_model)
+        a = planner.plan(estimator, initial, seed=3)
+        b = planner.plan(estimator, initial, seed=3)
+        assert a.placement.as_dict() == b.placement.as_dict()
+        assert a.cost == b.cost
+
+    def test_plan_emits_one_search_event(self, algorithm):
+        tree, cost_model, initial = make_problem()
+        planner = planner_for(algorithm, tree, HOSTS, cost_model)
+        tracer = Tracer()
+        planner.plan(estimator, initial, tracer=tracer, now=5.0)
+        searches = [
+            e for e in tracer.events if e["type"] == PLANNER_SEARCH
+        ]
+        assert len(searches) == 1
+        assert searches[0]["algorithm"] == algorithm.value
+        assert searches[0]["t"] == 5.0
+
+
+class TestFactory:
+    def test_accepts_plain_strings(self):
+        tree, cost_model, _ = make_problem()
+        assert isinstance(
+            planner_for("one-shot", tree, HOSTS, cost_model), OneShotPlanner
+        )
+        assert isinstance(
+            planner_for("global", tree, HOSTS, cost_model), GlobalPlanner
+        )
+        assert isinstance(
+            planner_for("local", tree, HOSTS, cost_model), LocalRulesPlanner
+        )
+        assert isinstance(
+            planner_for("download-all", tree, HOSTS, cost_model),
+            DownloadAllPlanner,
+        )
+
+    def test_unknown_algorithm_raises(self):
+        tree, cost_model, _ = make_problem()
+        with pytest.raises(ValueError, match="unknown placement algorithm"):
+            planner_for("simulated-annealing", tree, HOSTS, cost_model)
+
+    def test_download_all_plan_is_identity(self):
+        tree, cost_model, initial = make_problem()
+        planner = planner_for("download-all", tree, HOSTS, cost_model)
+        result = planner.plan(estimator, initial)
+        assert result.placement is initial
+        assert result.rounds == 0

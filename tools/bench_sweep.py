@@ -9,7 +9,9 @@ benchmarks the kernel/trace hot paths:
 * DES calendar throughput (timeout schedule-and-fire events/second);
 * ``BandwidthTrace.transfer_time`` — prefix-sum inversion vs the
   reference segment-by-segment walk (``_transfer_time_scan``);
-* ``TraceLibrary.sample_noon_segment`` draw rate (cached sorted keys).
+* ``TraceLibrary.sample_noon_segment`` draw rate (cached sorted keys);
+* run-tracing overhead — the same simulation with the tracer off vs on
+  (the no-op tracer must stay effectively free).
 
 Writes ``BENCH_sweep.json`` (see ``docs/performance.md`` for how to read
 it).  Run from the repo root::
@@ -33,7 +35,9 @@ from pathlib import Path
 import numpy as np
 
 from repro.engine.config import Algorithm
-from repro.experiments import ExperimentSetup, compare_algorithms
+from repro.experiments import ExperimentConfig, compare_algorithms
+from repro.experiments.runner import run_configuration
+from repro.obs import Tracer
 from repro.sim import Environment
 from repro.traces import InternetStudy
 
@@ -45,7 +49,34 @@ ALGORITHMS = [
 ]
 
 
-def bench_sweep(setup: ExperimentSetup, n_configs: int, workers: int) -> dict:
+def bench_tracer_overhead(repeats: int = 3) -> dict:
+    """Tracer-off vs tracer-on wall-clock for one global-algorithm run.
+
+    The ISSUE budget for the disabled tracer is <=3% on the sweep; this
+    times the same run both ways so regressions show up directly.
+    """
+    setup = ExperimentConfig(num_servers=4, images_per_server=60)
+
+    def one_run(tracer):
+        t0 = time.perf_counter()
+        run_configuration(setup, 0, Algorithm.GLOBAL, tracer=tracer)
+        return time.perf_counter() - t0
+
+    one_run(None)  # warm caches (trace library, placement, numpy)
+    off_seconds = min(one_run(None) for _ in range(repeats))
+    tracers = [Tracer() for _ in range(repeats)]
+    on_seconds = min(one_run(t) for t in tracers)
+    events = max(len(t.events) for t in tracers)
+    return {
+        "repeats": repeats,
+        "tracer_off_seconds": round(off_seconds, 4),
+        "tracer_on_seconds": round(on_seconds, 4),
+        "on_over_off_ratio": round(on_seconds / off_seconds, 3),
+        "events_recorded": events,
+    }
+
+
+def bench_sweep(setup: ExperimentConfig, n_configs: int, workers: int) -> dict:
     """Serial vs parallel wall-clock for the fig6-style sweep."""
     t0 = time.perf_counter()
     serial = compare_algorithms(setup, ALGORITHMS, n_configs, workers=1)
@@ -153,7 +184,7 @@ def main(argv=None) -> int:
                         help="micro-benchmarks only")
     args = parser.parse_args(argv)
 
-    setup = ExperimentSetup()
+    setup = ExperimentConfig()
     setup.trace_library()  # warm the library cache outside the timers
 
     results: dict = {
@@ -175,6 +206,16 @@ def main(argv=None) -> int:
     print(f"[bench] library sampling...", flush=True)
     results["library_sampling"] = bench_library_sampling()
     print(f"         {results['library_sampling']['draws_per_second']:,} draws/s")
+
+    print(f"[bench] tracer overhead (off vs on)...", flush=True)
+    results["tracer_overhead"] = bench_tracer_overhead()
+    overhead = results["tracer_overhead"]
+    print(
+        f"         off {overhead['tracer_off_seconds']}s, on "
+        f"{overhead['tracer_on_seconds']}s "
+        f"({overhead['on_over_off_ratio']}x, "
+        f"{overhead['events_recorded']:,} events)"
+    )
 
     if not args.skip_sweep:
         print(
