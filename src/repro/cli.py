@@ -4,6 +4,7 @@ Subcommands::
 
     repro run      — simulate one algorithm on one network configuration
     repro compare  — all four algorithms on N configurations (mini Fig. 6)
+    repro chaos    — all four algorithms under a fault-injection plan
     repro trace    — summarize a recorded run trace (JSONL)
     repro figure   — regenerate one of the paper's figures (2, 6..10)
     repro study    — synthesize and export the bandwidth-trace study
@@ -13,8 +14,11 @@ Examples::
 
     repro run --algorithm global --servers 8 --config 3
     repro run --algorithm global --trace run.jsonl --chrome-trace run.json
+    repro run --algorithm global --faults plan.json
     repro trace run.jsonl
     repro compare --configs 10
+    repro chaos --servers 4 --images 12
+    repro chaos --emit-plan plan.json
     repro figure 8 --configs 6
     repro report --out report/ --configs 30
 """
@@ -75,6 +79,21 @@ def _add_workers_argument(parser: argparse.ArgumentParser) -> None:
              "0 = one per CPU)")
 
 
+def _add_faults_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--faults", default=None, metavar="PLAN.json",
+        help="inject faults from a JSON fault plan (see docs/robustness.md)")
+
+
+def _fault_overrides(args: argparse.Namespace) -> dict:
+    """``{"faults": plan}`` if ``--faults`` was given, else ``{}``."""
+    if getattr(args, "faults", None) is None:
+        return {}
+    from repro.faults import FaultPlan
+
+    return {"faults": FaultPlan.from_json(args.faults)}
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     setup = _setup_from(args)
     tracer = None
@@ -83,7 +102,8 @@ def cmd_run(args: argparse.Namespace) -> int:
 
         tracer = Tracer()
     metrics = run_configuration(
-        setup, args.config, Algorithm(args.algorithm), tracer=tracer
+        setup, args.config, Algorithm(args.algorithm), tracer=tracer,
+        **_fault_overrides(args),
     )
     payload = metrics.summary()
     if args.json:
@@ -123,6 +143,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
             flush=True,
         )
 
+    fault_overrides = _fault_overrides(args)
     if args.trace:
         # Tracing forces a serial sweep: every run gets its own tracer
         # and its own JSONL file in the trace directory.
@@ -135,7 +156,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
             for algorithm in algorithms:
                 tracer = Tracer()
                 metrics = run_configuration(
-                    setup, index, algorithm, tracer=tracer
+                    setup, index, algorithm, tracer=tracer, **fault_overrides
                 )
                 write_jsonl(
                     tracer, trace_dir / f"config{index}-{algorithm.value}.jsonl"
@@ -146,7 +167,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
     else:
         summaries = compare_algorithms(
             setup, algorithms, args.configs,
-            progress=progress, workers=args.workers,
+            progress=progress, workers=args.workers, **fault_overrides,
         )
     if args.out:
         from repro.experiments.persistence import save_runs_csv, save_runs_json
@@ -171,6 +192,48 @@ def cmd_compare(args: argparse.Namespace) -> int:
             f"{summary.mean_interarrival:>23.1f}"
         )
     return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Run every algorithm under a fault plan and report resilience."""
+    from repro.faults import FaultPlan, reference_chaos_plan
+
+    setup = _setup_from(args)
+    hosts = [*setup.server_hosts, setup.client_host]
+    if args.plan:
+        plan = FaultPlan.from_json(args.plan)
+    else:
+        plan = reference_chaos_plan(hosts, seed=args.seed)
+    if args.emit_plan:
+        plan.to_json(args.emit_plan)
+        print(f"fault plan written to {args.emit_plan}")
+        return 0
+
+    rows = []
+    for algorithm in Algorithm:
+        metrics = run_configuration(
+            setup, args.config, algorithm, faults=plan
+        )
+        rows.append(metrics)
+    if args.json:
+        print(json.dumps([m.summary() for m in rows], indent=2))
+    else:
+        print(
+            f"{'algorithm':<14}{'completion':>12}{'retx':>7}"
+            f"{'dropKiB':>9}{'aborted':>9}{'down(s)':>9}"
+            f"{'probeTO':>9}{'fallback':>10}"
+        )
+        for m in rows:
+            completion = (
+                "TRUNCATED" if m.truncated else f"{m.completion_time:.1f}s"
+            )
+            print(
+                f"{m.algorithm:<14}{completion:>12}{m.retransmissions:>7}"
+                f"{m.dropped_bytes / 1024.0:>9.1f}{m.aborted_relocations:>9}"
+                f"{m.host_downtime_seconds:>9.1f}{m.probe_timeouts:>9}"
+                f"{m.planner_fallbacks:>10}"
+            )
+    return 1 if any(m.truncated for m in rows) else 0
 
 
 def cmd_figure(args: argparse.Namespace) -> int:
@@ -266,6 +329,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--chrome-trace", default=None, metavar="PATH",
                      help="also export a Chrome trace_event file "
                           "(Perfetto-loadable)")
+    _add_faults_argument(run)
     run.set_defaults(func=cmd_run)
 
     compare = sub.add_parser("compare", help="all four algorithms, N configs")
@@ -277,7 +341,23 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--trace", default=None, metavar="DIR",
                          help="record one JSONL trace per run into DIR "
                               "(forces a serial sweep)")
+    _add_faults_argument(compare)
     compare.set_defaults(func=cmd_compare)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="all four algorithms under a fault plan (resilience check)",
+    )
+    _add_setup_arguments(chaos)
+    chaos.add_argument("--config", type=int, default=0,
+                       help="network-configuration index (default 0)")
+    chaos.add_argument("--plan", default=None, metavar="PLAN.json",
+                       help="fault plan to inject (default: the built-in "
+                            "reference chaos plan)")
+    chaos.add_argument("--emit-plan", default=None, metavar="PATH",
+                       help="write the plan JSON and exit without running")
+    chaos.add_argument("--json", action="store_true", help="JSON output")
+    chaos.set_defaults(func=cmd_chaos)
 
     trace = sub.add_parser(
         "trace", help="summarize a recorded run trace (JSONL)"

@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 from typing import Mapping, Optional
 
 from repro.app.composition import CompositionSpec
+from repro.faults.plan import FaultPlan
 from repro.monitor.system import MonitoringConfig
 from repro.traces.trace import BandwidthTrace
 
@@ -111,6 +112,23 @@ class SimulationSpec:
     #: Hard wall on simulated time (guards against pathological configs).
     max_sim_time: float = 10 * 86400.0
 
+    #: Optional fault-injection plan; ``None`` (or an empty plan) keeps
+    #: every fault/retry code path dormant — the run is bit-identical to
+    #: one built before faults existed.
+    faults: Optional[FaultPlan] = None
+    #: Two-phase relocation: abort and roll back to the source placement
+    #: if the state transfer has not committed within this many seconds.
+    relocation_timeout: float = 600.0
+    #: Planner degradation: below this fraction of fresh link estimates
+    #: the global controller declines to replan.
+    degraded_view_threshold: float = 0.5
+    #: Planner degradation: an estimate older than this (seconds) no
+    #: longer counts toward view coverage.
+    degraded_estimate_horizon: float = 1800.0
+    #: Planner degradation: after this many consecutive degraded rounds
+    #: the global controller falls back to the download-all placement.
+    degraded_rounds_to_download_all: int = 3
+
     def __post_init__(self) -> None:
         if self.tree_shape not in ("binary", "left-deep"):
             raise ValueError(f"unknown tree shape {self.tree_shape!r}")
@@ -134,6 +152,14 @@ class SimulationSpec:
             raise ValueError(
                 "replication_factor must be between 1 and the host count"
             )
+        if self.relocation_timeout <= 0:
+            raise ValueError("relocation_timeout must be positive")
+        if not 0.0 <= self.degraded_view_threshold <= 1.0:
+            raise ValueError("degraded_view_threshold must be in [0, 1]")
+        if self.degraded_estimate_horizon <= 0:
+            raise ValueError("degraded_estimate_horizon must be positive")
+        if self.degraded_rounds_to_download_all < 1:
+            raise ValueError("degraded_rounds_to_download_all must be >= 1")
         self._validate_links()
 
     def _validate_links(self) -> None:

@@ -18,7 +18,13 @@ import numpy as np
 from repro.dataflow.critical import placement_cost
 from repro.engine.actors import ClientActor
 from repro.engine.runtime import Runtime
-from repro.obs.events import BARRIER_ROUND, PLACEMENT_INSTALL, PLANNER_RUN
+from repro.obs.events import (
+    BARRIER_ROUND,
+    PLACEMENT_INSTALL,
+    PLANNER_FALLBACK,
+    PLANNER_RUN,
+)
+from repro.placement.download_all import download_all_placement
 from repro.placement.global_planner import GlobalPlanner
 from repro.placement.local_rules import LocalRulesPlanner, is_on_critical_path
 
@@ -48,6 +54,7 @@ class GlobalController:
         self.planner = planner
         self.client_actor = client_actor
         self._plan_seq = 0
+        self._degraded_rounds = 0
 
     def run(self):
         """Main controller process (lives at the client)."""
@@ -67,6 +74,45 @@ class GlobalController:
         tracer = runtime.tracer
         if tracer.enabled:
             tracer.emit(PLANNER_RUN, env.now, algorithm=self.planner.name)
+
+        if runtime.faults is not None and not runtime.spec.oracle_monitoring:
+            # Under faults the monitoring view can rot (probes time out,
+            # links stay dark).  Planning on a mostly-dead matrix produces
+            # garbage moves, so degrade instead: keep the last-known-good
+            # placement, and after enough consecutive degraded rounds
+            # retreat to the always-feasible download-all placement.
+            coverage = self._view_coverage(client_host)
+            if coverage < runtime.spec.degraded_view_threshold:
+                self._degraded_rounds += 1
+                runtime.metrics.planner_fallbacks += 1
+                fallback_to_download = (
+                    self._degraded_rounds
+                    >= runtime.spec.degraded_rounds_to_download_all
+                )
+                mode = (
+                    "download-all" if fallback_to_download else "last-known-good"
+                )
+                if tracer.enabled:
+                    tracer.emit(
+                        PLANNER_FALLBACK,
+                        env.now,
+                        algorithm=self.planner.name,
+                        mode=mode,
+                        coverage=coverage,
+                    )
+                if fallback_to_download:
+                    download = download_all_placement(
+                        runtime.tree,
+                        {
+                            s.node_id: runtime.host_of(s.node_id)
+                            for s in runtime.tree.servers()
+                        },
+                        runtime.spec.client_host,
+                    )
+                    if download != runtime.current_placement:
+                        yield from self._install(download)
+                return
+            self._degraded_rounds = 0
 
         if runtime.spec.probe_before_planning and not runtime.spec.oracle_monitoring:
             # Plan, probe the stale links the search consulted, re-plan —
@@ -140,6 +186,27 @@ class GlobalController:
             if new_cost > current_cost * (1.0 - runtime.spec.replan_threshold):
                 return
         yield from self._install(result.placement)
+
+    def _view_coverage(self, viewer: str) -> float:
+        """Fraction of host pairs with a usable (recent-enough) estimate.
+
+        Uses :meth:`~repro.monitor.cache.EstimateCache.lookup_any` so the
+        check itself never perturbs cache hit/miss statistics.
+        """
+        runtime = self.runtime
+        cache = runtime.monitoring.cache_for(viewer)
+        now = runtime.env.now
+        horizon = runtime.spec.degraded_estimate_horizon
+        hosts = sorted(runtime.spec.all_hosts)
+        total = 0
+        usable = 0
+        for i, a in enumerate(hosts):
+            for b in hosts[i + 1 :]:
+                total += 1
+                entry = cache.lookup_any(a, b)
+                if entry is not None and entry.age(now) <= horizon:
+                    usable += 1
+        return usable / total if total else 1.0
 
     def _refresh_plan_links(self, placement, client_host: str):
         """Probe the stale links a candidate placement would put data on."""
@@ -333,7 +400,23 @@ class LocalController:
             decision.should_move
             and decision.best_cost < decision.current_cost * (1.0 - threshold)
         ):
-            actor.pending_move = decision.best_site
+            target = decision.best_site
+            if runtime.faults is not None and runtime.faults.host_down(
+                target, runtime.env.now
+            ):
+                # Don't schedule a move onto a host known to be crashed;
+                # the two-phase relocation would only abort anyway.
+                runtime.metrics.planner_fallbacks += 1
+                if runtime.tracer.enabled:
+                    runtime.tracer.emit(
+                        PLANNER_FALLBACK,
+                        runtime.env.now,
+                        algorithm=self.planner.name,
+                        mode="skip-down-host",
+                        actor=op_id,
+                    )
+                return
+            actor.pending_move = target
 
     def _refresh_links(
         self,

@@ -9,9 +9,12 @@ import numpy as np
 
 #: Version tag :meth:`RunMetrics.summary` embeds.  Version 2 added the
 #: trace-derived fields (transfers, local deliveries, passive
-#: measurements, piggyback merges) and ``median_gap``; version-1 payloads
-#: are still accepted by :mod:`repro.experiments.persistence`.
-SUMMARY_SCHEMA = 2
+#: measurements, piggyback merges) and ``median_gap``; version 3 added
+#: the resilience counters (retransmissions, dropped bytes, abandoned
+#: messages, aborted relocations, host downtime, probe timeouts, planner
+#: fallbacks).  Older payloads are still accepted by
+#: :mod:`repro.experiments.persistence`.
+SUMMARY_SCHEMA = 3
 
 
 @dataclass(frozen=True)
@@ -57,6 +60,14 @@ class RunMetrics:
     local_deliveries: int = 0
     passive_measurements: int = 0
     piggyback_entries_merged: int = 0
+    #: Schema-3 resilience counters (all zero unless a fault plan ran).
+    retransmissions: int = 0
+    dropped_bytes: float = 0.0
+    abandoned_messages: int = 0
+    aborted_relocations: int = 0
+    host_downtime_seconds: float = 0.0
+    probe_timeouts: int = 0
+    planner_fallbacks: int = 0
 
     @property
     def completion_time(self) -> float:
@@ -89,8 +100,8 @@ class RunMetrics:
     def summary(self) -> dict:
         """Plain-dict summary for serialization and tables.
 
-        Carries ``"schema": 2`` — see :data:`SUMMARY_SCHEMA`.  Readers in
-        :mod:`repro.experiments.persistence` accept both versions.
+        Carries ``"schema": 3`` — see :data:`SUMMARY_SCHEMA`.  Readers in
+        :mod:`repro.experiments.persistence` accept every version.
         """
         return {
             "schema": SUMMARY_SCHEMA,
@@ -114,6 +125,13 @@ class RunMetrics:
             "local_deliveries": self.local_deliveries,
             "passive_measurements": self.passive_measurements,
             "piggyback_entries_merged": self.piggyback_entries_merged,
+            "retransmissions": self.retransmissions,
+            "dropped_bytes": self.dropped_bytes,
+            "abandoned_messages": self.abandoned_messages,
+            "aborted_relocations": self.aborted_relocations,
+            "host_downtime_seconds": self.host_downtime_seconds,
+            "probe_timeouts": self.probe_timeouts,
+            "planner_fallbacks": self.planner_fallbacks,
         }
 
     @classmethod

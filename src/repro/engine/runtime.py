@@ -19,8 +19,9 @@ from repro.net.message import (
     Message,
     MessageKind,
 )
+from repro.faults.plan import TransferAbandoned
 from repro.net.network import Network
-from repro.obs.events import ARRIVAL, RELOCATION
+from repro.obs.events import ARRIVAL, RELOCATION, RELOCATION_ABORT
 from repro.obs.tracer import ensure_tracer
 from repro.sim import Environment, Event
 
@@ -103,6 +104,9 @@ class Runtime:
         self.operators: dict[str, "OperatorActor"] = {}
         #: Set by the simulation builder once the client actor exists.
         self.client_actor = None
+        #: Fault injector, set by the simulation builder when a fault
+        #: plan is active; None keeps relocation on the unfaulted path.
+        self.faults = None
 
         self._barrier_events: dict[int, Event] = {}
         self._barrier_reports: dict[int, dict[str, int]] = {}
@@ -179,13 +183,24 @@ class Runtime:
     def relocate(self, op_id: str, new_host: str):
         """Process generator: move an operator (light-move window only).
 
-        Charges the operator-state transfer as a control message, re-homes
-        the actor's mailbox, performs the paper's authoritative vector
-        update at the original site, and lets the migrating operator carry
-        its bandwidth/location knowledge with it.
+        The move is a two-phase, abortable transaction.  Phase one ships
+        the serialized operator state to the destination as a control
+        message; only once it has arrived does phase two commit the move
+        (re-home the mailbox, run the paper's authoritative vector update
+        at the original site, carry the operator's bandwidth/location
+        knowledge along).  Under a fault plan phase one can abort — the
+        destination is down, the state transfer times out
+        (``spec.relocation_timeout``) or is abandoned — and the operator
+        simply stays at the source: nothing was committed, so rollback is
+        the identity.  Aborts are counted in
+        :attr:`~repro.engine.metrics.RunMetrics.aborted_relocations`.
         """
         old_host = self.host_of(op_id)
         if old_host == new_host:
+            return
+        faults = self.faults
+        if faults is not None and faults.host_down(new_host, self.env.now):
+            self._abort_relocation(op_id, old_host, new_host, "destination-down")
             return
         transfer_actor = f"_xfer-{op_id}"
         self.network.register_actor(transfer_actor, new_host)
@@ -196,8 +211,35 @@ class Runtime:
             size=self.spec.op_state_bytes,
             payload={"type": "operator-state", "operator": op_id},
         )
-        yield self.network.send(state_msg, src_host=old_host, dst_host=new_host)
+        delivery = self.network.send(
+            state_msg, src_host=old_host, dst_host=new_host
+        )
+        if faults is None:
+            yield delivery
+        else:
+            timeout = self.env.timeout(self.spec.relocation_timeout)
+            try:
+                yield self.env.any_of([delivery, timeout])
+            except TransferAbandoned:
+                self.network.unregister_actor(transfer_actor)
+                self._abort_relocation(
+                    op_id, old_host, new_host, "transfer-abandoned"
+                )
+                return
+            if not delivery.triggered:
+                # Timed out.  The state transfer keeps retrying in the
+                # background; when it eventually lands (or dies), the
+                # stale destination endpoint is cleaned up.
+                delivery.defused = True
+                network = self.network
+                def _late_cleanup(_event, host=new_host, actor=transfer_actor):
+                    network.hosts[host].remove_mailbox(actor)
+                    network.unregister_actor(actor)
+                delivery.callbacks.append(_late_cleanup)
+                self._abort_relocation(op_id, old_host, new_host, "timeout")
+                return
         self.network.hosts[new_host].remove_mailbox(transfer_actor)
+        self.network.unregister_actor(transfer_actor)
 
         pending = self.network.move_actor(op_id, new_host)
         new_mailbox = self.network.hosts[new_host].mailbox(op_id)
@@ -225,6 +267,21 @@ class Runtime:
                 old_host=old_host,
                 new_host=new_host,
                 state_bytes=self.spec.op_state_bytes,
+            )
+
+    def _abort_relocation(
+        self, op_id: str, old_host: str, new_host: str, reason: str
+    ) -> None:
+        """Roll a failed two-phase move back (the operator never left)."""
+        self.metrics.aborted_relocations += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                RELOCATION_ABORT,
+                self.env.now,
+                actor=op_id,
+                old_host=old_host,
+                new_host=new_host,
+                reason=reason,
             )
 
     # -- monitoring helpers -------------------------------------------------------
@@ -288,31 +345,50 @@ class Runtime:
         ctl_remote = f"_probe-ctl@{a}"
         self.network.register_actor(ctl_requester, requester_host)
         self.network.register_actor(ctl_remote, a)
-        request = Message(
-            kind=MessageKind.CONTROL,
-            src_actor=ctl_requester,
-            dst_actor=ctl_remote,
-            size=0,
-            payload={"type": "probe-request", "pair": (a, b)},
-        )
-        yield self.network.send(request, src_host=requester_host, dst_host=a)
-        self.network.hosts[a].remove_mailbox(ctl_remote)
+        try:
+            request = Message(
+                kind=MessageKind.CONTROL,
+                src_actor=ctl_requester,
+                dst_actor=ctl_remote,
+                size=0,
+                payload={"type": "probe-request", "pair": (a, b)},
+            )
+            try:
+                yield self.network.send(
+                    request, src_host=requester_host, dst_host=a
+                )
+            except TransferAbandoned:
+                return None
+            self.network.hosts[a].remove_mailbox(ctl_remote)
 
-        bandwidth = yield from self.monitoring.probe(a, b)
+            bandwidth = yield from self.monitoring.probe(a, b)
 
-        reply = Message(
-            kind=MessageKind.CONTROL,
-            src_actor=ctl_remote,
-            dst_actor=ctl_requester,
-            size=0,
-            payload={"type": "probe-reply", "pair": (a, b), "bandwidth": bandwidth},
-        )
-        yield self.network.send(reply, src_host=a, dst_host=requester_host)
-        self.network.hosts[requester_host].remove_mailbox(ctl_requester)
-        # The reply's piggyback normally carries the measurement; make the
-        # delivery explicit in case piggybacking is disabled.
-        self.monitoring.cache_for(requester_host).update(a, b, bandwidth, self.env.now)
-        return bandwidth
+            reply = Message(
+                kind=MessageKind.CONTROL,
+                src_actor=ctl_remote,
+                dst_actor=ctl_requester,
+                size=0,
+                payload={
+                    "type": "probe-reply",
+                    "pair": (a, b),
+                    "bandwidth": bandwidth,
+                },
+            )
+            try:
+                yield self.network.send(reply, src_host=a, dst_host=requester_host)
+            except TransferAbandoned:
+                return None
+            self.network.hosts[requester_host].remove_mailbox(ctl_requester)
+            # The reply's piggyback normally carries the measurement; make
+            # the delivery explicit in case piggybacking is disabled.
+            if bandwidth is not None:
+                self.monitoring.cache_for(requester_host).update(
+                    a, b, bandwidth, self.env.now
+                )
+            return bandwidth
+        finally:
+            self.network.unregister_actor(ctl_requester)
+            self.network.unregister_actor(ctl_remote)
 
     # -- arrivals & barrier bookkeeping ------------------------------------------
     def note_arrival(self, iteration: int, at: float) -> None:
@@ -360,4 +436,10 @@ class Runtime:
         metrics.piggyback_entries_merged = (
             self.monitoring.stats.piggyback_entries_merged
         )
+        metrics.retransmissions = self.network.stats.retransmissions
+        metrics.dropped_bytes = self.network.stats.dropped_bytes
+        metrics.abandoned_messages = self.network.stats.abandoned_messages
+        metrics.probe_timeouts = self.monitoring.stats.probe_timeouts
+        if self.faults is not None:
+            metrics.host_downtime_seconds = self.faults.total_downtime
         return metrics

@@ -15,6 +15,7 @@ from repro.engine.config import Algorithm, SimulationSpec
 from repro.engine.controllers import GlobalController, LocalController
 from repro.engine.metrics import RunMetrics
 from repro.engine.runtime import Runtime
+from repro.faults import FaultInjector
 from repro.monitor.system import MonitoringSystem
 from repro.net.host import Host
 from repro.net.link import Link
@@ -166,6 +167,14 @@ def build_simulation(
             extra_candidates=spec.local_extra_candidates,
         )
         LocalController(runtime, planner).start()
+
+    if spec.faults is not None and not spec.faults.is_empty():
+        spec.faults.validate_hosts(network.hosts.keys())
+        injector = FaultInjector(spec.faults, env, tracer=tracer)
+        network.install_faults(injector)
+        monitoring.faults = injector
+        runtime.faults = injector
+        injector.start()
 
     return env, runtime
 

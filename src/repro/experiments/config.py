@@ -16,6 +16,7 @@ from typing import Optional
 import numpy as np
 
 from repro.engine.config import Algorithm, SimulationSpec
+from repro.faults.plan import FaultPlan
 from repro.traces.study import InternetStudy, TraceLibrary
 from repro.traces.trace import BandwidthTrace
 
@@ -50,6 +51,9 @@ class ExperimentConfig:
     relocation_period: float = 600.0
     local_extra_candidates: int = 0
     library: Optional[TraceLibrary] = None
+    #: Optional fault-injection plan applied to every run built from this
+    #: config (``None``: fault machinery stays dormant).
+    fault_plan: Optional[FaultPlan] = None
 
     # ---- report scale ------------------------------------------------
     n_configs: int = 30
@@ -149,5 +153,6 @@ def build_spec(
         relocation_period=setup.relocation_period,
         local_extra_candidates=setup.local_extra_candidates,
         control_seed=setup.seed + config_index,
+        faults=setup.fault_plan,
     )
     return replace(base, **overrides) if overrides else base

@@ -36,11 +36,12 @@ def metrics_to_dict(metrics: RunMetrics, include_arrivals: bool = True) -> dict:
 def metrics_from_dict(payload: dict) -> RunMetrics:
     """Rebuild :class:`RunMetrics` from :func:`metrics_to_dict` output.
 
-    Accepts both summary schema versions: version-1 payloads (no
-    ``"schema"`` key) lack the trace-derived fields, which default to 0.
+    Accepts every summary schema version: version-1 payloads (no
+    ``"schema"`` key) lack the trace-derived fields and version-2
+    payloads lack the resilience counters; missing fields default to 0.
     """
     schema = payload.get("schema", 1)
-    if schema not in (1, 2):
+    if schema not in (1, 2, 3):
         raise ValueError(f"unsupported metrics schema {schema!r}")
     metrics = RunMetrics(
         algorithm=payload["algorithm"],
@@ -61,6 +62,13 @@ def metrics_from_dict(payload: dict) -> RunMetrics:
         local_deliveries=payload.get("local_deliveries", 0),
         passive_measurements=payload.get("passive_measurements", 0),
         piggyback_entries_merged=payload.get("piggyback_entries_merged", 0),
+        retransmissions=payload.get("retransmissions", 0),
+        dropped_bytes=payload.get("dropped_bytes", 0.0),
+        abandoned_messages=payload.get("abandoned_messages", 0),
+        aborted_relocations=payload.get("aborted_relocations", 0),
+        host_downtime_seconds=payload.get("host_downtime_seconds", 0.0),
+        probe_timeouts=payload.get("probe_timeouts", 0),
+        planner_fallbacks=payload.get("planner_fallbacks", 0),
     )
     for event in payload.get("relocation_events", []):
         metrics.relocation_events.append(
@@ -105,6 +113,13 @@ CSV_FIELDS = (
     "local_deliveries",
     "passive_measurements",
     "piggyback_entries_merged",
+    "retransmissions",
+    "dropped_bytes",
+    "abandoned_messages",
+    "aborted_relocations",
+    "host_downtime_seconds",
+    "probe_timeouts",
+    "planner_fallbacks",
 )
 
 

@@ -1,0 +1,33 @@
+"""Seeded, deterministic fault injection (see :mod:`repro.faults.plan`).
+
+Public surface::
+
+    from repro.faults import (
+        FaultPlan, LinkOutage, LinkLoss, HostCrash, ProbeBlackout,
+        RetryPolicy, FaultInjector, TransferAbandoned, reference_chaos_plan,
+    )
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    FaultPlan,
+    HostCrash,
+    LinkLoss,
+    LinkOutage,
+    ProbeBlackout,
+    RetryPolicy,
+    TransferAbandoned,
+    reference_chaos_plan,
+)
+
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "HostCrash",
+    "LinkLoss",
+    "LinkOutage",
+    "ProbeBlackout",
+    "RetryPolicy",
+    "TransferAbandoned",
+    "reference_chaos_plan",
+]

@@ -24,6 +24,7 @@ from repro.monitor.piggyback import (
     decode_piggyback,
     encode_piggyback,
 )
+from repro.faults.plan import TransferAbandoned
 from repro.net.message import Message, MessageKind
 from repro.net.network import Network, TransferObservation
 from repro.obs.events import (
@@ -32,6 +33,7 @@ from repro.obs.events import (
     MONITOR_PIGGYBACK,
     MONITOR_PROBE,
     MONITOR_PROBE_RESULT,
+    MONITOR_PROBE_TIMEOUT,
 )
 from repro.obs.tracer import ensure_tracer
 
@@ -65,6 +67,10 @@ class MonitoringConfig:
     #: over many links at once, so single noisy samples systematically
     #: lure it toward over-estimated bandwidths.
     probe_samples: int = 1
+    #: Seconds a probe sample waits for its delivery before giving up.
+    #: Only consulted when a fault plan is installed; unfaulted runs
+    #: never time a probe out.
+    probe_timeout: float = 60.0
 
 
 @dataclass
@@ -75,6 +81,8 @@ class MonitoringStats:
     piggyback_entries_merged: int = 0
     probes_sent: int = 0
     probe_bytes: float = 0.0
+    #: Probe samples that produced no measurement (faulted runs only).
+    probe_timeouts: int = 0
 
 
 @dataclass(frozen=True)
@@ -101,6 +109,9 @@ class MonitoringSystem:
         self.config = config or MonitoringConfig()
         self.stats = MonitoringStats()
         self._tracer = ensure_tracer(tracer)
+        #: Fault injector, set by the simulation builder when a fault
+        #: plan is active; None keeps probes on the unfaulted path.
+        self.faults = None
         self.caches: dict[str, BandwidthCache] = {
             name: BandwidthCache(self.config.t_thres, self.config.smoothing) for name in network.hosts
         }
@@ -252,6 +263,16 @@ class MonitoringSystem:
         a single short sample is too noisy to hand to a planner that
         optimizes over every link at once.  Returns the averaged
         bandwidth (bytes/s).
+
+        With a fault plan installed, each sample is bounded by
+        ``config.probe_timeout`` (timed-out, blacked-out or abandoned
+        samples count as :attr:`MonitoringStats.probe_timeouts`), and the
+        method returns None when *no* sample survived — callers must then
+        keep their last-known-good estimates instead of caching a guess.
+
+        The throwaway ``_monitor@<host>`` endpoints are unregistered (and
+        the target mailbox removed) on every exit path, so repeated
+        probes never leak actor registrations.
         """
         if a == b:
             raise ValueError("cannot probe a host against itself")
@@ -260,48 +281,105 @@ class MonitoringSystem:
         # Monitor daemons are implicit: register throwaway actor endpoints.
         self.network.register_actor(probe_actor, a)
         self.network.register_actor(target_actor, b)
-        samples: list[float] = []
-        for _ in range(max(self.config.probe_samples, 1)):
-            message = Message(
-                kind=MessageKind.CONTROL,
-                src_actor=probe_actor,
-                dst_actor=target_actor,
-                size=self.config.probe_size,
-                payload={"probe": True},
-            )
-            self.stats.probes_sent += 1
-            self.stats.probe_bytes += message.wire_size
+        try:
+            samples: list[float] = []
+            for _ in range(max(self.config.probe_samples, 1)):
+                now = self.network.env.now
+                if self.faults is not None and self.faults.probe_blackout(now):
+                    self.stats.probe_timeouts += 1
+                    if self._tracer.enabled:
+                        self._tracer.emit(
+                            MONITOR_PROBE_TIMEOUT, now, a=a, b=b, reason="blackout"
+                        )
+                    yield self.network.env.timeout(self.config.probe_timeout)
+                    continue
+                message = Message(
+                    kind=MessageKind.CONTROL,
+                    src_actor=probe_actor,
+                    dst_actor=target_actor,
+                    size=self.config.probe_size,
+                    payload={"probe": True},
+                )
+                self.stats.probes_sent += 1
+                self.stats.probe_bytes += message.wire_size
+                if self._tracer.enabled:
+                    self._tracer.emit(
+                        MONITOR_PROBE,
+                        now,
+                        a=a,
+                        b=b,
+                        bytes=message.wire_size,
+                    )
+                delivery = self.network.send(message, src_host=a, dst_host=b)
+                if self.faults is None:
+                    yield delivery
+                else:
+                    arrived = yield from self._await_probe(
+                        delivery, a, b, target_actor
+                    )
+                    if not arrived:
+                        continue
+                # Drain the probe from the target mailbox so it cannot pile up.
+                self.network.hosts[b].remove_mailbox(target_actor)
+                entry = self.cache_for(a).lookup_any(a, b)
+                if entry is not None:
+                    samples.append(entry.bandwidth)
+            if not samples:
+                if self.faults is not None:
+                    return None
+                return self.config.default_estimate
+            bandwidth = sum(samples) / len(samples)
+            now = self.network.env.now
+            for host in (a, b):
+                # Overwrite (not EWMA) with the multi-sample average.
+                self.cache_for(host).force_set(a, b, bandwidth, now)
             if self._tracer.enabled:
                 self._tracer.emit(
-                    MONITOR_PROBE,
-                    self.network.env.now,
+                    MONITOR_PROBE_RESULT,
+                    now,
                     a=a,
                     b=b,
-                    bytes=message.wire_size,
+                    bandwidth=bandwidth,
+                    samples=len(samples),
                 )
-            yield self.network.send(message, src_host=a, dst_host=b)
-            # Drain the probe from the target mailbox so it cannot pile up.
+            return bandwidth
+        finally:
+            self.network.unregister_actor(probe_actor)
+            self.network.unregister_actor(target_actor)
             self.network.hosts[b].remove_mailbox(target_actor)
-            entry = self.cache_for(a).lookup_any(a, b)
-            if entry is not None:
-                samples.append(entry.bandwidth)
-        if not samples:
-            return self.config.default_estimate
-        bandwidth = sum(samples) / len(samples)
-        now = self.network.env.now
-        for host in (a, b):
-            # Overwrite (not EWMA) with the multi-sample average.
-            self.cache_for(host).force_set(a, b, bandwidth, now)
+
+    def _await_probe(self, delivery, a: str, b: str, target_actor: str):
+        """Wait for one probe delivery, bounded by ``config.probe_timeout``.
+
+        Returns True if the probe arrived in time.  On timeout the
+        in-flight transfer keeps retrying in the background (its late
+        arrival is drained from the target mailbox); on abandonment the
+        failure is absorbed here.
+        """
+        env = self.network.env
+        timeout = env.timeout(self.config.probe_timeout)
+        try:
+            yield env.any_of([delivery, timeout])
+        except TransferAbandoned:
+            self.stats.probe_timeouts += 1
+            if self._tracer.enabled:
+                self._tracer.emit(
+                    MONITOR_PROBE_TIMEOUT, env.now, a=a, b=b, reason="abandoned"
+                )
+            return False
+        if delivery.triggered:
+            return True
+        self.stats.probe_timeouts += 1
         if self._tracer.enabled:
             self._tracer.emit(
-                MONITOR_PROBE_RESULT,
-                now,
-                a=a,
-                b=b,
-                bandwidth=bandwidth,
-                samples=len(samples),
+                MONITOR_PROBE_TIMEOUT, env.now, a=a, b=b, reason="timeout"
             )
-        return bandwidth
+        network = self.network
+        delivery.defused = True
+        delivery.callbacks.append(
+            lambda _event: network.hosts[b].remove_mailbox(target_actor)
+        )
+        return False
 
 
 def _validate_forecast_mode(mode: str) -> None:

@@ -47,6 +47,8 @@ class Link:
         """Seconds to push ``nbytes`` onto the wire starting at ``start_time``."""
         if nbytes < 0:
             raise ValueError(f"negative transfer size {nbytes!r}")
+        if start_time < 0:
+            raise ValueError(f"negative start time {start_time!r}")
         if nbytes == 0:
             return self.startup_cost
         return self.startup_cost + self.trace.transfer_time(

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from heapq import heappop, heappush
 from typing import Callable, Iterable, Optional
 
+from repro.faults.plan import TransferAbandoned
 from repro.net.host import Host
 from repro.net.link import Link
 from repro.net.message import Message, MessageKind
@@ -34,6 +35,9 @@ from repro.obs.events import (
     MESSAGE_FORWARD,
     MESSAGE_RECV,
     MESSAGE_SEND,
+    NET_ABANDON,
+    NET_DROP,
+    NET_RETRANSMIT,
 )
 from repro.obs.tracer import ensure_tracer
 from repro.sim import Environment, Event
@@ -69,6 +73,10 @@ class NetworkStats:
     local_deliveries: int = 0
     forwarded: int = 0
     bytes_on_wire: float = 0.0
+    #: Resilience counters (zero unless a fault plan is installed).
+    retransmissions: int = 0
+    dropped_bytes: float = 0.0
+    abandoned_messages: int = 0
 
 
 class Network:
@@ -93,6 +101,13 @@ class Network:
         self.piggyback_source: Optional[Callable[[str, str], Optional[dict]]] = None
         #: Optional piggyback sink: ``(dst_host, piggyback_dict) -> None``.
         self.piggyback_sink: Optional[Callable[[str, dict], None]] = None
+        #: Fault injector (see :meth:`install_faults`).  None (the
+        #: default) keeps transfers on the exact unfaulted code path.
+        self._faults = None
+
+    def install_faults(self, injector) -> None:
+        """Route transfers through ``injector``'s outage/loss/retry model."""
+        self._faults = injector
 
     # -- topology ---------------------------------------------------------
     def add_host(self, host: Host) -> Host:
@@ -167,6 +182,14 @@ class Network:
         if old_host == new_host:
             return []
         return self.hosts[old_host].remove_mailbox(actor)
+
+    def unregister_actor(self, actor: str) -> None:
+        """Drop ``actor`` from the registry (throwaway probe/transfer endpoints).
+
+        Unknown actors are ignored; in-flight messages to an unregistered
+        actor are delivered at their arrival host (no forwarding).
+        """
+        self._actor_hosts.pop(actor, None)
 
     # -- transfers -------------------------------------------------------------
     def send(
@@ -254,9 +277,15 @@ class Network:
     def _run_transfer(self, message: Message, src: str, dst: str, done):
         link = self.link(src, dst)
         src_node, dst_node = self.hosts[src], self.hosts[dst]
-        started = self.env.now
-        duration = link.transmission_time(message.wire_size, started)
-        yield self.env.timeout(duration)
+        if self._faults is None:
+            started = self.env.now
+            duration = link.transmission_time(message.wire_size, started)
+            yield self.env.timeout(duration)
+        else:
+            attempt = yield from self._faulty_attempts(message, link, src, dst, done)
+            if attempt is None:
+                return  # abandoned: NICs released, done failed (defused)
+            started, duration = attempt
         finished = self.env.now
 
         self._active_transfers[src] -= 1
@@ -305,6 +334,86 @@ class Network:
         self._deliver(message, dst)
         done.succeed(message)
         self._dispatch_transfers()
+
+    def _faulty_attempts(self, message: Message, link: Link, src: str, dst: str, done):
+        """Attempt the transfer under the installed fault plan.
+
+        Returns ``(started, duration)`` of the successful attempt, or None
+        if the retry budget ran out (the message is then abandoned: both
+        NICs are released and ``done`` fails with
+        :class:`~repro.faults.plan.TransferAbandoned`, defused so that
+        fire-and-forget sends lose the message without crashing the run).
+
+        Both NICs stay held across retries and backoffs — a retransmitting
+        endpoint is genuinely busy, and a single arbiter slot keeps the
+        schedule deterministic.
+        """
+        faults = self._faults
+        retry = faults.retry
+        tracer = self._tracer
+        attempt = 0
+        while True:
+            attempt += 1
+            now = self.env.now
+            reason = faults.link_blocked(src, dst, now)
+            if reason is None:
+                started = now
+                duration = link.transmission_time(message.wire_size, started)
+                if not faults.drop_message(src, dst):
+                    yield self.env.timeout(duration)
+                    return started, duration
+                # Lost in flight: the bytes went on the wire and vanished.
+                # Pay the send time, then back off and retransmit.
+                self.stats.dropped_bytes += message.wire_size
+                if tracer.enabled:
+                    tracer.emit(
+                        NET_DROP,
+                        now,
+                        src_host=src,
+                        dst_host=dst,
+                        uid=message.uid,
+                        bytes=message.wire_size,
+                    )
+                reason = "loss"
+                wait = duration + retry.backoff_delay(attempt)
+            else:
+                wait = retry.backoff_delay(attempt)
+            if retry.max_attempts is not None and attempt >= retry.max_attempts:
+                self.stats.abandoned_messages += 1
+                if tracer.enabled:
+                    tracer.emit(
+                        NET_ABANDON,
+                        now,
+                        src_host=src,
+                        dst_host=dst,
+                        uid=message.uid,
+                        attempts=attempt,
+                        reason=reason,
+                    )
+                self._active_transfers[src] -= 1
+                self._active_transfers[dst] -= 1
+                done.defused = True
+                done.fail(
+                    TransferAbandoned(
+                        f"message #{message.uid} {src}->{dst} abandoned "
+                        f"after {attempt} attempts ({reason})"
+                    )
+                )
+                self._dispatch_transfers()
+                return None
+            self.stats.retransmissions += 1
+            if tracer.enabled:
+                tracer.emit(
+                    NET_RETRANSMIT,
+                    now,
+                    src_host=src,
+                    dst_host=dst,
+                    uid=message.uid,
+                    attempt=attempt,
+                    reason=reason,
+                    wait=wait,
+                )
+            yield self.env.timeout(wait)
 
     def _deliver(self, message: Message, arrived_at: str) -> None:
         actual = self._actor_hosts.get(message.dst_actor, arrived_at)

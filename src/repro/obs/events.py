@@ -52,6 +52,39 @@ Point events
     ``host``, ``merged``.
 ``arrival``
     A composed image reached the client.  Fields: ``iteration``.
+``net.retransmit``
+    A transfer attempt failed (outage, crashed endpoint, or loss) and
+    will be retried after a backoff.  Fields: ``src_host``, ``dst_host``,
+    ``uid``, ``attempt`` (1-based failed attempt), ``reason``
+    (``"outage"``/``"host-down"``/``"loss"``), ``wait`` (seconds until
+    the next attempt).
+``net.drop``
+    A transfer attempt's bytes went on the wire and were lost.  Fields:
+    ``src_host``, ``dst_host``, ``uid``, ``bytes``.
+``net.abandon``
+    A transfer exhausted its retry budget; the message is dropped and
+    the delivery event fails with ``TransferAbandoned``.  Fields:
+    ``src_host``, ``dst_host``, ``uid``, ``attempts``, ``reason``.
+``relocation.abort``
+    A two-phase relocation rolled back to the source placement.  Fields:
+    ``actor``, ``old_host``, ``new_host``, ``reason``
+    (``"destination-down"``/``"timeout"``/``"transfer-abandoned"``).
+``fault.link_down`` / ``fault.link_up``
+    A planned link outage window opened / closed.  Fields: ``a``, ``b``
+    (canonical pair); ``fault.link_up`` adds ``outage`` (window seconds).
+``fault.host_down`` / ``fault.host_up``
+    A planned host crash window opened / closed.  Fields: ``host``;
+    ``fault.host_up`` adds ``downtime`` (window seconds) — this is the
+    increment :attr:`~repro.engine.metrics.RunMetrics.
+    host_downtime_seconds` accumulates.
+``monitor.probe_timeout``
+    An active probe sample produced no measurement.  Fields: ``a``,
+    ``b``, ``reason`` (``"blackout"``/``"timeout"``/``"abandoned"``).
+``planner.fallback``
+    A controller declined to plan on a degraded monitoring view and fell
+    back.  Fields: ``algorithm``, ``mode`` (``"last-known-good"``/
+    ``"download-all"``/``"skip-down-host"``) and optionally ``coverage``
+    or ``actor``.
 ``run.meta``
     First event of a run: ``algorithm``, ``num_servers``, ``images``,
     ``tree_shape``, ``hosts``.
@@ -100,6 +133,16 @@ COMPUTE = "compute"
 ARRIVAL = "arrival"
 RUN_META = "run.meta"
 RUN_END = "run.end"
+NET_RETRANSMIT = "net.retransmit"
+NET_DROP = "net.drop"
+NET_ABANDON = "net.abandon"
+RELOCATION_ABORT = "relocation.abort"
+FAULT_LINK_DOWN = "fault.link_down"
+FAULT_LINK_UP = "fault.link_up"
+FAULT_HOST_DOWN = "fault.host_down"
+FAULT_HOST_UP = "fault.host_up"
+MONITOR_PROBE_TIMEOUT = "monitor.probe_timeout"
+PLANNER_FALLBACK = "planner.fallback"
 
 #: Event type -> "point" | "span".  Exporters use this to pick the Chrome
 #: ``trace_event`` phase; anything absent defaults to "point".
@@ -123,6 +166,16 @@ EVENT_KINDS: dict[str, str] = {
     ARRIVAL: "point",
     RUN_META: "point",
     RUN_END: "point",
+    NET_RETRANSMIT: "point",
+    NET_DROP: "point",
+    NET_ABANDON: "point",
+    RELOCATION_ABORT: "point",
+    FAULT_LINK_DOWN: "point",
+    FAULT_LINK_UP: "point",
+    FAULT_HOST_DOWN: "point",
+    FAULT_HOST_UP: "point",
+    MONITOR_PROBE_TIMEOUT: "point",
+    PLANNER_FALLBACK: "point",
 }
 
 SPAN_EVENTS = frozenset(k for k, v in EVENT_KINDS.items() if v == "span")

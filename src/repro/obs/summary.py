@@ -54,6 +54,13 @@ def replay_aggregates(records: Iterable[dict[str, Any]]) -> dict[str, Any]:
         "local_deliveries": 0,
         "passive_measurements": 0,
         "piggyback_entries_merged": 0,
+        "retransmissions": 0,
+        "dropped_bytes": 0.0,
+        "abandoned_messages": 0,
+        "aborted_relocations": 0,
+        "host_downtime_seconds": 0.0,
+        "probe_timeouts": 0,
+        "planner_fallbacks": 0,
     }
     for event in events_only(records):
         etype = event["type"]
@@ -91,6 +98,20 @@ def replay_aggregates(records: Iterable[dict[str, Any]]) -> dict[str, Any]:
             agg["passive_measurements"] += 1
         elif etype == ev.MONITOR_PIGGYBACK:
             agg["piggyback_entries_merged"] += event["merged"]
+        elif etype == ev.NET_RETRANSMIT:
+            agg["retransmissions"] += 1
+        elif etype == ev.NET_DROP:
+            agg["dropped_bytes"] += event["bytes"]
+        elif etype == ev.NET_ABANDON:
+            agg["abandoned_messages"] += 1
+        elif etype == ev.RELOCATION_ABORT:
+            agg["aborted_relocations"] += 1
+        elif etype == ev.FAULT_HOST_UP:
+            agg["host_downtime_seconds"] += event["downtime"]
+        elif etype == ev.MONITOR_PROBE_TIMEOUT:
+            agg["probe_timeouts"] += 1
+        elif etype == ev.PLANNER_FALLBACK:
+            agg["planner_fallbacks"] += 1
         elif etype == ev.RUN_META:
             agg["algorithm"] = event["algorithm"]
             agg["num_servers"] = event["num_servers"]
@@ -129,6 +150,16 @@ class TraceSummary:
     completion_time: float = float("nan")
     truncated: bool = False
     counters: dict[str, float] = field(default_factory=dict)
+    #: Resilience counters (non-zero only for fault-injected runs).
+    retransmissions: int = 0
+    dropped_bytes: float = 0.0
+    abandoned_messages: int = 0
+    aborted_relocations: int = 0
+    probe_timeouts: int = 0
+    planner_fallbacks: int = 0
+    host_downtime_seconds: float = 0.0
+    #: (time, event_type, detail) fault timeline in order.
+    fault_timeline: list[tuple[float, str, str]] = field(default_factory=list)
 
     @property
     def barrier_stall_seconds(self) -> float:
@@ -184,6 +215,28 @@ def summarize_records(records: Iterable[dict[str, Any]]) -> TraceSummary:
         elif etype == ev.ARRIVAL:
             summary.arrivals += 1
             summary.completion_time = record["t"]
+        elif etype == ev.NET_RETRANSMIT:
+            summary.retransmissions += 1
+        elif etype == ev.NET_DROP:
+            summary.dropped_bytes += record.get("bytes", 0.0)
+        elif etype == ev.NET_ABANDON:
+            summary.abandoned_messages += 1
+        elif etype == ev.RELOCATION_ABORT:
+            summary.aborted_relocations += 1
+        elif etype == ev.MONITOR_PROBE_TIMEOUT:
+            summary.probe_timeouts += 1
+        elif etype == ev.PLANNER_FALLBACK:
+            summary.planner_fallbacks += 1
+        elif etype in (ev.FAULT_LINK_DOWN, ev.FAULT_LINK_UP):
+            summary.fault_timeline.append(
+                (record["t"], etype, f"{record.get('a')}~{record.get('b')}")
+            )
+        elif etype in (ev.FAULT_HOST_DOWN, ev.FAULT_HOST_UP):
+            if etype == ev.FAULT_HOST_UP:
+                summary.host_downtime_seconds += record.get("downtime", 0.0)
+            summary.fault_timeline.append(
+                (record["t"], etype, str(record.get("host")))
+            )
         elif etype == ev.RUN_END:
             summary.truncated = record.get("truncated", False)
             summary.completion_time = record.get(
@@ -263,6 +316,39 @@ def format_trace_summary(summary: TraceSummary, max_rows: int = 20) -> str:
         f" estimates [{quality or 'none'}]"
     )
     lines.append(f"forwarded messages: {summary.forwarded}")
+
+    faulted = (
+        summary.fault_timeline
+        or summary.retransmissions
+        or summary.dropped_bytes
+        or summary.abandoned_messages
+        or summary.aborted_relocations
+        or summary.probe_timeouts
+        or summary.planner_fallbacks
+    )
+    if faulted:
+        lines.append("")
+        lines.append(
+            "resilience:"
+            f" {summary.retransmissions} retransmissions,"
+            f" {summary.dropped_bytes / 1024.0:.1f} KiB dropped,"
+            f" {summary.abandoned_messages} abandoned,"
+            f" {summary.aborted_relocations} aborted relocations,"
+            f" {summary.probe_timeouts} probe timeouts,"
+            f" {summary.planner_fallbacks} planner fallbacks,"
+            f" {summary.host_downtime_seconds:.1f}s host downtime"
+        )
+        if summary.fault_timeline:
+            lines.append(
+                f"fault timeline ({len(summary.fault_timeline)} boundaries):"
+            )
+            for t, etype, detail in summary.fault_timeline[:max_rows]:
+                lines.append(f"  {t:10.1f}s  {etype:<16} {detail}")
+            if len(summary.fault_timeline) > max_rows:
+                lines.append(
+                    f"  ... {len(summary.fault_timeline) - max_rows} more"
+                )
+
     if summary.counters:
         sim_events = summary.counters.get("sim.events")
         if sim_events is not None:

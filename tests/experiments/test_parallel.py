@@ -134,6 +134,63 @@ class TestDeterminism:
         assert len(metrics.arrival_times) == 8
 
 
+class TestPoolUnavailableFallback:
+    """run_sweep degrades to the serial loop on every pool-failure mode."""
+
+    TASKS = [(0, Algorithm.DOWNLOAD_ALL), (1, Algorithm.DOWNLOAD_ALL)]
+
+    @pytest.mark.parametrize(
+        "error",
+        [
+            ImportError("no multiprocessing"),
+            NotImplementedError("no sem_open"),
+            OSError("fork failed"),
+            PermissionError("sandbox denies semaphores"),
+        ],
+        ids=lambda e: type(e).__name__,
+    )
+    def test_fallback_matches_serial(self, small_setup, monkeypatch, error):
+        from repro.experiments import parallel
+
+        def broken_pool(*args, **kwargs):
+            raise error
+
+        monkeypatch.setattr(parallel, "_run_parallel", broken_pool)
+        fallen_back = run_sweep(small_setup, self.TASKS, workers=4)
+        serial = run_sweep(small_setup, self.TASKS, workers=1)
+        assert set(fallen_back) == set(serial)
+        for key in serial:
+            assert fallen_back[key].arrival_times == serial[key].arrival_times
+            assert fallen_back[key].summary() == serial[key].summary()
+
+    def test_fallback_preserves_progress_order(self, small_setup, monkeypatch):
+        from repro.experiments import parallel
+
+        monkeypatch.setattr(
+            parallel,
+            "_run_parallel",
+            lambda *a, **k: (_ for _ in ()).throw(OSError("no pool")),
+        )
+        seen = []
+        run_sweep(
+            small_setup,
+            self.TASKS,
+            workers=4,
+            progress=lambda i, a, m: seen.append((i, a.value)),
+        )
+        assert seen == [(0, "download-all"), (1, "download-all")]
+
+    def test_unrelated_errors_propagate(self, small_setup, monkeypatch):
+        from repro.experiments import parallel
+
+        def broken_pool(*args, **kwargs):
+            raise RuntimeError("a real bug, not a missing pool")
+
+        monkeypatch.setattr(parallel, "_run_parallel", broken_pool)
+        with pytest.raises(RuntimeError, match="a real bug"):
+            run_sweep(small_setup, self.TASKS, workers=4)
+
+
 class TestSummaryMerge:
     def _summary(self, name, completions):
         s = AlgorithmSummary(name)

@@ -72,15 +72,33 @@ class TestDeprecatedAliases:
 
 class TestSummarySchemaVersions:
     def test_summary_declares_schema(self):
-        assert RunMetrics().summary()["schema"] == SUMMARY_SCHEMA == 2
+        assert RunMetrics().summary()["schema"] == SUMMARY_SCHEMA == 3
+
+    def test_reader_accepts_v3(self):
+        metrics = RunMetrics(algorithm="global", transfers=9,
+                             local_deliveries=4, passive_measurements=2,
+                             piggyback_entries_merged=7,
+                             retransmissions=5, aborted_relocations=1)
+        rebuilt = metrics_from_dict(metrics_to_dict(metrics))
+        assert rebuilt.transfers == 9
+        assert rebuilt.piggyback_entries_merged == 7
+        assert rebuilt.retransmissions == 5
+        assert rebuilt.aborted_relocations == 1
 
     def test_reader_accepts_v2(self):
         metrics = RunMetrics(algorithm="global", transfers=9,
                              local_deliveries=4, passive_measurements=2,
                              piggyback_entries_merged=7)
-        rebuilt = metrics_from_dict(metrics_to_dict(metrics))
+        payload = metrics_to_dict(metrics)
+        payload["schema"] = 2
+        for key in ("retransmissions", "dropped_bytes", "abandoned_messages",
+                    "aborted_relocations", "host_downtime_seconds",
+                    "probe_timeouts", "planner_fallbacks"):
+            payload.pop(key, None)
+        rebuilt = metrics_from_dict(payload)
         assert rebuilt.transfers == 9
         assert rebuilt.piggyback_entries_merged == 7
+        assert rebuilt.retransmissions == 0
 
     def test_reader_accepts_v1(self):
         payload = metrics_to_dict(RunMetrics(algorithm="local", relocations=3))

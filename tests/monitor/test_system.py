@@ -143,6 +143,24 @@ class TestProbe:
         with pytest.raises(ValueError):
             list(monitoring.probe("a", "a"))
 
+    def test_probe_cleans_up_actor_endpoints(self, env):
+        # Regression: probe used to leave its _monitor@<host> endpoints
+        # registered, leaking one registry entry (and mailbox) per probe.
+        net, monitoring = build(env, rate=2000.0)
+        before = dict(net._actor_hosts)
+
+        def prober(env):
+            yield from monitoring.probe("a", "b")
+            yield from monitoring.probe("b", "c")
+
+        env.process(prober(env))
+        env.run()
+        assert net._actor_hosts == before
+        for host in net.hosts.values():
+            assert not any(
+                name.startswith("_monitor@") for name in host._mailboxes
+            )
+
     def test_multi_sample_probe_averages(self, env):
         net = Network(env)
         for name in ("a", "b"):

@@ -37,6 +37,13 @@ class TestLink:
         with pytest.raises(ValueError):
             link.transmission_time(-1, 0)
 
+    def test_negative_start_time_rejected(self):
+        # A negative start would silently integrate the trace before t=0
+        # (clamped rates), producing a plausible-looking wrong duration.
+        link = Link("a", "b", constant_trace(100))
+        with pytest.raises(ValueError, match="negative start time"):
+            link.transmission_time(1000, -0.5)
+
     def test_transmission_integrates_trace(self):
         trace = BandwidthTrace([0, 10], [100, 50])
         link = Link("a", "b", trace, startup_cost=0.0)
