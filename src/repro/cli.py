@@ -5,6 +5,7 @@ Subcommands::
     repro run      — simulate one algorithm on one network configuration
     repro compare  — all four algorithms on N configurations (mini Fig. 6)
     repro chaos    — all four algorithms under a fault-injection plan
+    repro workload — N concurrent queries contending on one shared network
     repro trace    — summarize a recorded run trace (JSONL)
     repro figure   — regenerate one of the paper's figures (2, 6..10)
     repro study    — synthesize and export the bandwidth-trace study
@@ -19,6 +20,8 @@ Examples::
     repro compare --configs 10
     repro chaos --servers 4 --images 12
     repro chaos --emit-plan plan.json
+    repro workload --clients 4 --queries 2 --mix global=1,one-shot=1
+    repro workload --clients 8 --arrivals open --rate 0.01 --json
     repro figure 8 --configs 6
     repro report --out report/ --configs 30
 """
@@ -236,6 +239,108 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 1 if any(m.truncated for m in rows) else 0
 
 
+def _parse_mix(text: str, period: float) -> tuple:
+    """``"global=2,one-shot=1"`` -> a tuple of weighted QueryClass."""
+    from repro.workload import QueryClass
+
+    classes = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, _, weight = part.partition("=")
+        classes.append(
+            QueryClass(
+                name=name,
+                algorithm=Algorithm(name),
+                weight=float(weight) if weight else 1.0,
+                overrides={"relocation_period": period},
+            )
+        )
+    if not classes:
+        raise SystemExit(f"empty query mix: {text!r}")
+    return tuple(classes)
+
+
+def cmd_workload(args: argparse.Namespace) -> int:
+    from repro.workload import ClosedLoop, OpenLoop, WorkloadSpec, run_workload
+
+    if args.arrivals == "open":
+        arrivals = OpenLoop(rate=args.rate, process=args.process)
+    else:
+        arrivals = ClosedLoop(think_time=args.think, process=args.process)
+    fault_overrides = _fault_overrides(args)
+    spec = WorkloadSpec(
+        classes=_parse_mix(args.mix, args.period),
+        num_clients=args.clients,
+        queries_per_client=args.queries,
+        arrivals=arrivals,
+        seed=args.seed,
+        num_servers=args.servers,
+        tree_shape=args.tree,
+        images_per_server=args.images,
+        config_index=args.config,
+        fault_plan=fault_overrides.get("faults"),
+        max_sim_time=args.max_time,
+    )
+    tracer = None
+    if args.trace:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+    result = run_workload(spec, tracer=tracer)
+    fleet = result.fleet
+    if args.json:
+        print(json.dumps(fleet, indent=2))
+    else:
+        latency = fleet["latency"]
+        print(
+            f"{fleet['completed']}/{fleet['scheduled']} queries completed "
+            f"({fleet['truncated']} truncated) in {fleet['elapsed']:.1f}s"
+        )
+        if latency["count"]:
+            print(
+                f"latency: mean {latency['mean']:.1f}s  p50 {latency['p50']:.1f}s"
+                f"  p95 {latency['p95']:.1f}s  p99 {latency['p99']:.1f}s"
+            )
+        print(f"Jain fairness across clients: {fleet['fairness_jain']:.3f}")
+        print(
+            f"relocations: {fleet['relocations']['total']} "
+            f"({fleet['relocations']['per_query_mean']:.2f}/query)"
+        )
+        print(f"\n{'query':<8}{'class':<14}{'algorithm':<14}"
+              f"{'issued':>9}{'latency':>10}{'reloc':>7}")
+        for query in fleet["queries"]:
+            latency_s = (
+                "TRUNC" if query["latency"] is None
+                else f"{query['latency']:.1f}s"
+            )
+            print(
+                f"{query['query_id']:<8}{query['class']:<14}"
+                f"{query['algorithm']:<14}{query['issued_at']:>9.1f}"
+                f"{latency_s:>10}{query['relocations']:>7}"
+            )
+        busiest = sorted(
+            fleet["links"].items(),
+            key=lambda kv: kv[1]["utilization"],
+            reverse=True,
+        )[:5]
+        if busiest:
+            print(f"\n{'link':<16}{'MiB':>9}{'transfers':>11}{'util':>7}")
+            for name, entry in busiest:
+                print(
+                    f"{name:<16}{entry['bytes'] / 2**20:>9.1f}"
+                    f"{entry['transfers']:>11}{entry['utilization']:>7.2f}"
+                )
+    if tracer is not None:
+        from repro.obs import write_jsonl
+
+        count = write_jsonl(tracer, args.trace)
+        print(f"{count} trace records written to {args.trace}",
+              file=sys.stderr)
+    return 1 if fleet["truncated"] else 0
+
+
 def cmd_figure(args: argparse.Namespace) -> int:
     setup = _setup_from(args)
     number = args.number
@@ -358,6 +463,44 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the plan JSON and exit without running")
     chaos.add_argument("--json", action="store_true", help="JSON output")
     chaos.set_defaults(func=cmd_chaos)
+
+    workload = sub.add_parser(
+        "workload",
+        help="N concurrent queries contending on one shared network",
+    )
+    _add_setup_arguments(workload)
+    workload.add_argument("--clients", type=int, default=4,
+                          help="client population size (default 4)")
+    workload.add_argument("--queries", type=int, default=2,
+                          help="queries per client (default 2)")
+    workload.add_argument(
+        "--mix", default="global=1,one-shot=1",
+        metavar="ALGO=W,...",
+        help="weighted query mix, e.g. global=2,one-shot=1 "
+             "(default global=1,one-shot=1)")
+    workload.add_argument("--arrivals", choices=("closed", "open"),
+                          default="closed",
+                          help="arrival discipline (default closed-loop)")
+    workload.add_argument("--think", type=float, default=0.0,
+                          help="closed-loop think time in seconds (default 0)")
+    workload.add_argument("--rate", type=float, default=0.01,
+                          help="open-loop arrival rate per client, "
+                               "queries/s (default 0.01)")
+    workload.add_argument("--process", choices=("fixed", "poisson"),
+                          default="fixed",
+                          help="think/inter-arrival distribution "
+                               "(default fixed)")
+    workload.add_argument("--config", type=int, default=0,
+                          help="network-configuration index (default 0)")
+    workload.add_argument("--max-time", type=float, default=10 * 86400.0,
+                          help="truncate the fleet at this sim time")
+    workload.add_argument("--json", action="store_true",
+                          help="print the full fleet summary as JSON")
+    workload.add_argument("--trace", default=None, metavar="PATH",
+                          help="record the query_id-tagged event stream "
+                               "to a JSONL trace")
+    _add_faults_argument(workload)
+    workload.set_defaults(func=cmd_workload)
 
     trace = sub.add_parser(
         "trace", help="summarize a recorded run trace (JSONL)"

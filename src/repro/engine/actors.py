@@ -59,7 +59,7 @@ class ActorBase:
         return self.view_placement[actor]
 
     def mailbox(self):
-        return self.my_host_obj().mailbox(self.actor_id)
+        return self.runtime.mailbox_of(self.actor_id)
 
     # -- sending ---------------------------------------------------------------
     def send_demand(
@@ -257,7 +257,7 @@ class OperatorActor(ActorBase):
     # -- data path ------------------------------------------------------------
     def _handle_data(self, message: Message):
         iteration = message.payload["iteration"]
-        producer = message.src_actor
+        producer = self.runtime.local_id(message.src_actor)
         bucket = self.inputs.setdefault(iteration, {})
         if bucket:
             # Second arrival: this producer was the later one (§2.3).

@@ -313,7 +313,7 @@ class LocalController:
             )
             self.runtime.env.process(
                 self._epoch_process(op.node_id, op.level, rng),
-                name=f"epoch-{op.node_id}",
+                name=f"{self.runtime.namespace}epoch-{op.node_id}",
             )
 
     def _epoch_process(self, op_id: str, level: int, rng: np.random.Generator):

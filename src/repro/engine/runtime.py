@@ -48,10 +48,23 @@ class Runtime:
         initial_placement: Placement,
         server_replicas: "Optional[dict[str, tuple[str, ...]]]" = None,
         tracer=None,
+        namespace: str = "",
+        query_id: Optional[str] = None,
     ) -> None:
         self.env = env
         self.network = network
         self.tracer = ensure_tracer(tracer)
+        #: Prefix applied to every actor id this runtime registers with the
+        #: (possibly shared) network, so several queries' identically-named
+        #: tree nodes ("client", "s0", "op0", ...) coexist on one network.
+        #: Empty for single-query runs, whose ids then cross the boundary
+        #: unchanged — which is what keeps ``run_simulation`` bit-identical
+        #: to its pre-workload behaviour.
+        self.namespace = namespace
+        #: Tag stamped on every message this runtime sends; drives the
+        #: network's and monitor's per-query accounting and the trace
+        #: ``query_id`` field.  ``None`` for single-query runs.
+        self.query_id = query_id
         self.monitoring = monitoring
         self.tree = tree
         self.workload = workload
@@ -113,16 +126,35 @@ class Runtime:
 
         # Register every actor's starting location.
         for node in tree.nodes():
-            network.register_actor(node.node_id, initial_placement.host_of(node.node_id))
+            network.register_actor(
+                self.net_id(node.node_id),
+                initial_placement.host_of(node.node_id),
+            )
+
+    # -- actor-id namespacing -------------------------------------------------
+    def net_id(self, actor: str) -> str:
+        """The network-registry name for one of this runtime's actors."""
+        return self.namespace + actor if self.namespace else actor
+
+    def local_id(self, actor: str) -> str:
+        """Strip this runtime's namespace off a network actor id."""
+        ns = self.namespace
+        if ns and actor.startswith(ns):
+            return actor[len(ns):]
+        return actor
 
     # -- locations ------------------------------------------------------------
     def host_of(self, actor: str) -> str:
         """Ground-truth current host of an actor."""
-        return self.network.actor_host(actor)
+        return self.network.actor_host(self.net_id(actor))
 
     def host_obj(self, actor: str) -> Host:
         """The :class:`Host` an actor currently runs on."""
         return self.network.hosts[self.host_of(actor)]
+
+    def mailbox_of(self, actor: str):
+        """The mailbox an actor reads, under its network-registry name."""
+        return self.host_obj(actor).mailbox(self.net_id(actor))
 
     # -- messaging --------------------------------------------------------------
     def barrier_msg_priority(self) -> int:
@@ -156,11 +188,12 @@ class Runtime:
                 payload["_sender_ts"] = store.timestamps[src_actor]
         message = Message(
             kind=kind,
-            src_actor=src_actor,
-            dst_actor=dst_actor,
+            src_actor=self.net_id(src_actor),
+            dst_actor=self.net_id(dst_actor),
             size=size,
             payload=payload,
             priority=priority,
+            query_id=self.query_id,
         )
         self.network.send(message, src_host=src_host, dst_host=dst_host)
         return message
@@ -176,7 +209,9 @@ class Runtime:
         sender_ts = payload.get("_sender_ts")
         if sender_ts is not None:
             store.refresh_entry(
-                message.src_actor, payload["_from_host"], sender_ts
+                self.local_id(message.src_actor),
+                payload["_from_host"],
+                sender_ts,
             )
 
     # -- relocation ----------------------------------------------------------------
@@ -202,14 +237,15 @@ class Runtime:
         if faults is not None and faults.host_down(new_host, self.env.now):
             self._abort_relocation(op_id, old_host, new_host, "destination-down")
             return
-        transfer_actor = f"_xfer-{op_id}"
+        transfer_actor = self.net_id(f"_xfer-{op_id}")
         self.network.register_actor(transfer_actor, new_host)
         state_msg = Message(
             kind=MessageKind.CONTROL,
-            src_actor=op_id,
+            src_actor=self.net_id(op_id),
             dst_actor=transfer_actor,
             size=self.spec.op_state_bytes,
             payload={"type": "operator-state", "operator": op_id},
+            query_id=self.query_id,
         )
         delivery = self.network.send(
             state_msg, src_host=old_host, dst_host=new_host
@@ -241,8 +277,8 @@ class Runtime:
         self.network.hosts[new_host].remove_mailbox(transfer_actor)
         self.network.unregister_actor(transfer_actor)
 
-        pending = self.network.move_actor(op_id, new_host)
-        new_mailbox = self.network.hosts[new_host].mailbox(op_id)
+        pending = self.network.move_actor(self.net_id(op_id), new_host)
+        new_mailbox = self.network.hosts[new_host].mailbox(self.net_id(op_id))
         for queued in pending:
             new_mailbox.deliver(queued)
 
@@ -338,11 +374,13 @@ class Runtime:
         """
         if requester_host == a or requester_host == b:
             near, far = (a, b) if requester_host == a else (b, a)
-            result = yield from self.monitoring.probe(near, far)
+            result = yield from self.monitoring.probe(
+                near, far, query_id=self.query_id
+            )
             return result
 
-        ctl_requester = f"_probe-ctl@{requester_host}"
-        ctl_remote = f"_probe-ctl@{a}"
+        ctl_requester = self.net_id(f"_probe-ctl@{requester_host}")
+        ctl_remote = self.net_id(f"_probe-ctl@{a}")
         self.network.register_actor(ctl_requester, requester_host)
         self.network.register_actor(ctl_remote, a)
         try:
@@ -352,6 +390,7 @@ class Runtime:
                 dst_actor=ctl_remote,
                 size=0,
                 payload={"type": "probe-request", "pair": (a, b)},
+                query_id=self.query_id,
             )
             try:
                 yield self.network.send(
@@ -361,7 +400,9 @@ class Runtime:
                 return None
             self.network.hosts[a].remove_mailbox(ctl_remote)
 
-            bandwidth = yield from self.monitoring.probe(a, b)
+            bandwidth = yield from self.monitoring.probe(
+                a, b, query_id=self.query_id
+            )
 
             reply = Message(
                 kind=MessageKind.CONTROL,
@@ -373,6 +414,7 @@ class Runtime:
                     "pair": (a, b),
                     "bandwidth": bandwidth,
                 },
+                query_id=self.query_id,
             )
             try:
                 yield self.network.send(reply, src_host=a, dst_host=requester_host)
@@ -423,23 +465,33 @@ class Runtime:
 
     # -- finalization -----------------------------------------------------------
     def finalize_metrics(self, truncated: bool) -> RunMetrics:
-        """Copy subsystem counters into the run metrics and return them."""
+        """Copy subsystem counters into the run metrics and return them.
+
+        Single-query runs read the network's and monitor's global stats;
+        a workload query reads only its own per-query accounting slice,
+        so concurrent queries on a shared network do not pollute each
+        other's metrics.
+        """
         metrics = self.metrics
         metrics.truncated = truncated
-        metrics.probes_sent = self.monitoring.stats.probes_sent
-        metrics.probe_bytes = self.monitoring.stats.probe_bytes
-        metrics.forwarded_messages = self.network.stats.forwarded
-        metrics.bytes_on_wire = self.network.stats.bytes_on_wire
-        metrics.transfers = self.network.stats.transfers
-        metrics.local_deliveries = self.network.stats.local_deliveries
-        metrics.passive_measurements = self.monitoring.stats.passive_measurements
-        metrics.piggyback_entries_merged = (
-            self.monitoring.stats.piggyback_entries_merged
-        )
-        metrics.retransmissions = self.network.stats.retransmissions
-        metrics.dropped_bytes = self.network.stats.dropped_bytes
-        metrics.abandoned_messages = self.network.stats.abandoned_messages
-        metrics.probe_timeouts = self.monitoring.stats.probe_timeouts
+        if self.query_id is None:
+            net_stats = self.network.stats
+            mon_stats = self.monitoring.stats
+        else:
+            net_stats = self.network.stats_for(self.query_id)
+            mon_stats = self.monitoring.stats_for(self.query_id)
+        metrics.probes_sent = mon_stats.probes_sent
+        metrics.probe_bytes = mon_stats.probe_bytes
+        metrics.forwarded_messages = net_stats.forwarded
+        metrics.bytes_on_wire = net_stats.bytes_on_wire
+        metrics.transfers = net_stats.transfers
+        metrics.local_deliveries = net_stats.local_deliveries
+        metrics.passive_measurements = mon_stats.passive_measurements
+        metrics.piggyback_entries_merged = mon_stats.piggyback_entries_merged
+        metrics.retransmissions = net_stats.retransmissions
+        metrics.dropped_bytes = net_stats.dropped_bytes
+        metrics.abandoned_messages = net_stats.abandoned_messages
+        metrics.probe_timeouts = mon_stats.probe_timeouts
         if self.faults is not None:
             metrics.host_downtime_seconds = self.faults.total_downtime
         return metrics

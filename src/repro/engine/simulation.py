@@ -57,41 +57,26 @@ def build_tree(spec: SimulationSpec) -> CombinationTree:
     return left_deep_tree(spec.num_servers)
 
 
-def build_simulation(
-    spec: SimulationSpec, tracer=None
-) -> tuple[Environment, Runtime]:
-    """Assemble network, monitoring, tree, placement, actors, controllers.
+def build_query(
+    spec: SimulationSpec,
+    env: Environment,
+    network: Network,
+    monitoring: MonitoringSystem,
+    tracer=None,
+    namespace: str = "",
+    query_id: str | None = None,
+) -> Runtime:
+    """Assemble one query's tree, placement, actors and controllers.
 
-    ``tracer`` (a :class:`repro.obs.Tracer`) turns on run tracing across
-    every subsystem; the default no-op tracer leaves the hot paths
-    untouched.
+    The network/monitoring substrate is supplied by the caller, so several
+    queries can share it (:mod:`repro.workload`).  ``namespace`` prefixes
+    this query's actor ids at the network boundary; ``query_id`` tags its
+    messages and trace events.  With the defaults (empty namespace, no
+    query id) the constructed query is byte-identical to what
+    :func:`build_simulation` always built, which the single-query identity
+    test pins.
     """
     tracer = ensure_tracer(tracer)
-    env = Environment()
-    if tracer.enabled:
-        env.trace_hook = tracer.kernel_hook
-    network = Network(env, tracer=tracer)
-    for host_name in spec.all_hosts:
-        network.add_host(
-            Host(
-                env,
-                host_name,
-                disk_rate=spec.disk_rate,
-                nic_capacity=spec.nic_capacity,
-            )
-        )
-    hosts = list(spec.all_hosts)
-    for i, a in enumerate(hosts):
-        for b in hosts[i + 1 :]:
-            key = (a, b) if a < b else (b, a)
-            network.add_link(
-                Link(a, b, spec.link_traces[key], startup_cost=spec.startup_cost)
-            )
-
-    monitoring = MonitoringSystem(network, spec.monitoring, tracer=tracer)
-    if spec.seed_initial_snapshot:
-        monitoring.seed_snapshot(0.0)
-
     tree = build_tree(spec)
     workload = ImageWorkload.generate(
         spec.num_servers,
@@ -136,17 +121,19 @@ def build_simulation(
         initial,
         server_replicas=server_replicas,
         tracer=tracer,
+        namespace=namespace,
+        query_id=query_id,
     )
 
     client_actor = ClientActor(runtime, tree.client)
     runtime.client_actor = client_actor
-    env.process(client_actor.run(), name="client")
+    env.process(client_actor.run(), name=f"{namespace}client")
     for index, server in enumerate(tree.servers()):
         actor = ServerActor(runtime, server, index)
-        env.process(actor.run(), name=server.node_id)
+        env.process(actor.run(), name=f"{namespace}{server.node_id}")
     for op in tree.operators():
         actor = OperatorActor(runtime, op)
-        env.process(actor.run(), name=op.node_id)
+        env.process(actor.run(), name=f"{namespace}{op.node_id}")
 
     if spec.algorithm is Algorithm.GLOBAL:
         planner = planner_for(
@@ -157,7 +144,7 @@ def build_simulation(
             server_replicas=server_replicas,
         )
         controller = GlobalController(runtime, planner, client_actor)
-        env.process(controller.run(), name="global-controller")
+        env.process(controller.run(), name=f"{namespace}global-controller")
     elif spec.algorithm is Algorithm.LOCAL:
         planner = planner_for(
             Algorithm.LOCAL,
@@ -167,6 +154,46 @@ def build_simulation(
             extra_candidates=spec.local_extra_candidates,
         )
         LocalController(runtime, planner).start()
+
+    return runtime
+
+
+def build_simulation(
+    spec: SimulationSpec, tracer=None
+) -> tuple[Environment, Runtime]:
+    """Assemble network, monitoring, tree, placement, actors, controllers.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`) turns on run tracing across
+    every subsystem; the default no-op tracer leaves the hot paths
+    untouched.
+    """
+    tracer = ensure_tracer(tracer)
+    env = Environment()
+    if tracer.enabled:
+        env.trace_hook = tracer.kernel_hook
+    network = Network(env, tracer=tracer)
+    for host_name in spec.all_hosts:
+        network.add_host(
+            Host(
+                env,
+                host_name,
+                disk_rate=spec.disk_rate,
+                nic_capacity=spec.nic_capacity,
+            )
+        )
+    hosts = list(spec.all_hosts)
+    for i, a in enumerate(hosts):
+        for b in hosts[i + 1 :]:
+            key = (a, b) if a < b else (b, a)
+            network.add_link(
+                Link(a, b, spec.link_traces[key], startup_cost=spec.startup_cost)
+            )
+
+    monitoring = MonitoringSystem(network, spec.monitoring, tracer=tracer)
+    if spec.seed_initial_snapshot:
+        monitoring.seed_snapshot(0.0)
+
+    runtime = build_query(spec, env, network, monitoring, tracer=tracer)
 
     if spec.faults is not None and not spec.faults.is_empty():
         spec.faults.validate_hosts(network.hosts.keys())

@@ -27,6 +27,13 @@ class Interval:
         return f"{self.point:.2f} [{self.low:.2f}, {self.high:.2f}]"
 
 
+#: Statistics evaluated on the whole resample matrix at once via their
+#: ``axis`` keyword instead of one Python call per resample row.  They
+#: produce bit-identical values either way (same reduction, same order),
+#: so the fast path is a pure speedup.
+_AXIS_AWARE = (np.median, np.mean, np.min, np.max, np.sum)
+
+
 def bootstrap(
     values: Sequence[float],
     statistic: Callable[[np.ndarray], float] = np.median,
@@ -37,7 +44,11 @@ def bootstrap(
     """Percentile-bootstrap confidence interval for ``statistic``.
 
     Resampling is over configurations, matching the paper's unit of
-    randomness (the trace-to-link assignment).
+    randomness (the trace-to-link assignment).  The common NumPy
+    reductions (:data:`_AXIS_AWARE`) are applied to the whole
+    ``(n_resamples, n)`` matrix in one vectorized call; any other
+    statistic falls back to the row-at-a-time path with identical
+    results.
     """
     data = np.asarray(list(values), dtype=float)
     if data.size == 0:
@@ -51,7 +62,11 @@ def bootstrap(
     if data.size == 1:
         return Interval(point, point, point, confidence)
     indices = rng.integers(0, data.size, size=(n_resamples, data.size))
-    stats = np.apply_along_axis(statistic, 1, data[indices])
+    resamples = data[indices]
+    if any(statistic is fast for fast in _AXIS_AWARE):
+        stats = statistic(resamples, axis=1)
+    else:
+        stats = np.apply_along_axis(statistic, 1, resamples)
     alpha = (1.0 - confidence) / 2.0
     low, high = np.quantile(stats, [alpha, 1.0 - alpha])
     return Interval(point, float(low), float(high), confidence)

@@ -108,6 +108,9 @@ class MonitoringSystem:
         self.network = network
         self.config = config or MonitoringConfig()
         self.stats = MonitoringStats()
+        #: Per-query monitoring counters, keyed by the query tag carried
+        #: on probe messages / transfer observations (workload runs only).
+        self.query_stats: dict[str, MonitoringStats] = {}
         self._tracer = ensure_tracer(tracer)
         #: Fault injector, set by the simulation builder when a fault
         #: plan is active; None keeps probes on the unfaulted path.
@@ -125,6 +128,13 @@ class MonitoringSystem:
         if self.config.piggyback_budget > 0:
             network.piggyback_source = self._piggyback_source
             network.piggyback_sink = self._piggyback_sink
+
+    def stats_for(self, query_id: str) -> MonitoringStats:
+        """The per-query monitoring counters (created at zero)."""
+        stats = self.query_stats.get(query_id)
+        if stats is None:
+            stats = self.query_stats[query_id] = MonitoringStats()
+        return stats
 
     def cache_for(self, host: str) -> BandwidthCache:
         """The measurement cache of ``host`` (created lazily for new hosts)."""
@@ -183,24 +193,37 @@ class MonitoringSystem:
         self.cache_for(obs.src_host).update(obs.src_host, obs.dst_host, bandwidth, now)
         self.cache_for(obs.dst_host).update(obs.src_host, obs.dst_host, bandwidth, now)
         self.stats.passive_measurements += 1
+        if obs.query_id is not None:
+            self.stats_for(obs.query_id).passive_measurements += 1
         if self._tracer.enabled:
+            tag = {} if obs.query_id is None else {"query_id": obs.query_id}
             self._tracer.emit(
                 MONITOR_PASSIVE,
                 now,
                 a=obs.src_host,
                 b=obs.dst_host,
                 bandwidth=bandwidth,
+                **tag,
             )
 
     def _piggyback_source(self, src: str, dst: str) -> Optional[dict]:
         return encode_piggyback(self.cache_for(src), self.config.piggyback_budget)
 
-    def _piggyback_sink(self, dst: str, piggyback: dict) -> None:
+    def _piggyback_sink(
+        self, dst: str, piggyback: dict, query_id: Optional[str] = None
+    ) -> None:
         merged = decode_piggyback(self.cache_for(dst), piggyback)
         self.stats.piggyback_entries_merged += merged
+        if query_id is not None:
+            self.stats_for(query_id).piggyback_entries_merged += merged
         if self._tracer.enabled:
+            tag = {} if query_id is None else {"query_id": query_id}
             self._tracer.emit(
-                MONITOR_PIGGYBACK, self.network.env.now, host=dst, merged=merged
+                MONITOR_PIGGYBACK,
+                self.network.env.now,
+                host=dst,
+                merged=merged,
+                **tag,
             )
 
     # -- queries ------------------------------------------------------------
@@ -253,8 +276,12 @@ class MonitoringSystem:
                 cache.update(link.a, link.b, bandwidth, t)
 
     # -- active probing ----------------------------------------------------
-    def probe(self, a: str, b: str):
+    def probe(self, a: str, b: str, query_id: Optional[str] = None):
         """Process generator: actively measure the pair ``(a, b)``.
+
+        ``query_id`` attributes the probe's traffic and counters to one
+        workload query (the probe messages are stamped, so the network's
+        per-query accounting and the trace tags follow automatically).
 
         Sends ``probe_samples`` back-to-back messages of ``probe_size``
         bytes from ``a`` to ``b``; each exceeds ``s_thres`` so the passive
@@ -281,15 +308,23 @@ class MonitoringSystem:
         # Monitor daemons are implicit: register throwaway actor endpoints.
         self.network.register_actor(probe_actor, a)
         self.network.register_actor(target_actor, b)
+        tag = {} if query_id is None else {"query_id": query_id}
         try:
             samples: list[float] = []
             for _ in range(max(self.config.probe_samples, 1)):
                 now = self.network.env.now
                 if self.faults is not None and self.faults.probe_blackout(now):
                     self.stats.probe_timeouts += 1
+                    if query_id is not None:
+                        self.stats_for(query_id).probe_timeouts += 1
                     if self._tracer.enabled:
                         self._tracer.emit(
-                            MONITOR_PROBE_TIMEOUT, now, a=a, b=b, reason="blackout"
+                            MONITOR_PROBE_TIMEOUT,
+                            now,
+                            a=a,
+                            b=b,
+                            reason="blackout",
+                            **tag,
                         )
                     yield self.network.env.timeout(self.config.probe_timeout)
                     continue
@@ -299,9 +334,14 @@ class MonitoringSystem:
                     dst_actor=target_actor,
                     size=self.config.probe_size,
                     payload={"probe": True},
+                    query_id=query_id,
                 )
                 self.stats.probes_sent += 1
                 self.stats.probe_bytes += message.wire_size
+                if query_id is not None:
+                    query_stats = self.stats_for(query_id)
+                    query_stats.probes_sent += 1
+                    query_stats.probe_bytes += message.wire_size
                 if self._tracer.enabled:
                     self._tracer.emit(
                         MONITOR_PROBE,
@@ -309,13 +349,14 @@ class MonitoringSystem:
                         a=a,
                         b=b,
                         bytes=message.wire_size,
+                        **tag,
                     )
                 delivery = self.network.send(message, src_host=a, dst_host=b)
                 if self.faults is None:
                     yield delivery
                 else:
                     arrived = yield from self._await_probe(
-                        delivery, a, b, target_actor
+                        delivery, a, b, target_actor, query_id
                     )
                     if not arrived:
                         continue
@@ -341,6 +382,7 @@ class MonitoringSystem:
                     b=b,
                     bandwidth=bandwidth,
                     samples=len(samples),
+                    **tag,
                 )
             return bandwidth
         finally:
@@ -348,7 +390,14 @@ class MonitoringSystem:
             self.network.unregister_actor(target_actor)
             self.network.hosts[b].remove_mailbox(target_actor)
 
-    def _await_probe(self, delivery, a: str, b: str, target_actor: str):
+    def _await_probe(
+        self,
+        delivery,
+        a: str,
+        b: str,
+        target_actor: str,
+        query_id: Optional[str] = None,
+    ):
         """Wait for one probe delivery, bounded by ``config.probe_timeout``.
 
         Returns True if the probe arrived in time.  On timeout the
@@ -357,22 +406,32 @@ class MonitoringSystem:
         failure is absorbed here.
         """
         env = self.network.env
+        tag = {} if query_id is None else {"query_id": query_id}
         timeout = env.timeout(self.config.probe_timeout)
         try:
             yield env.any_of([delivery, timeout])
         except TransferAbandoned:
             self.stats.probe_timeouts += 1
+            if query_id is not None:
+                self.stats_for(query_id).probe_timeouts += 1
             if self._tracer.enabled:
                 self._tracer.emit(
-                    MONITOR_PROBE_TIMEOUT, env.now, a=a, b=b, reason="abandoned"
+                    MONITOR_PROBE_TIMEOUT,
+                    env.now,
+                    a=a,
+                    b=b,
+                    reason="abandoned",
+                    **tag,
                 )
             return False
         if delivery.triggered:
             return True
         self.stats.probe_timeouts += 1
+        if query_id is not None:
+            self.stats_for(query_id).probe_timeouts += 1
         if self._tracer.enabled:
             self._tracer.emit(
-                MONITOR_PROBE_TIMEOUT, env.now, a=a, b=b, reason="timeout"
+                MONITOR_PROBE_TIMEOUT, env.now, a=a, b=b, reason="timeout", **tag
             )
         network = self.network
         delivery.defused = True

@@ -77,6 +77,9 @@ class Message:
     priority: Optional[int] = None
     #: Piggybacked monitoring data, attached by the transport (bytes + entries).
     piggyback: Optional[dict[str, Any]] = None
+    #: Owning workload query, stamped by the engine's runtime; ``None``
+    #: for single-query runs and engine-internal traffic.
+    query_id: Optional[str] = None
     #: Unique id, assigned automatically.
     uid: int = field(default_factory=lambda: next(_message_counter))
     #: Filled in by the transport on delivery.
@@ -93,7 +96,7 @@ class Message:
 
     def trace_fields(self) -> dict[str, Any]:
         """The identifying fields a ``message.send`` trace event carries."""
-        return {
+        fields = {
             "uid": self.uid,
             "kind": self.kind.value,
             "src_actor": self.src_actor,
@@ -102,6 +105,9 @@ class Message:
             "dst_host": self.dst_host,
             "bytes": self.size,
         }
+        if self.query_id is not None:
+            fields["query_id"] = self.query_id
+        return fields
 
     @property
     def wire_size(self) -> float:

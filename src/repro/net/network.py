@@ -56,6 +56,8 @@ class TransferObservation:
     started: float
     finished: float
     kind: MessageKind
+    #: Owning workload query (None for single-query runs / shared traffic).
+    query_id: Optional[str] = None
 
     @property
     def measured_bandwidth(self) -> float:
@@ -89,6 +91,10 @@ class Network:
         self._links: dict[tuple[str, str], Link] = {}
         self._actor_hosts: dict[str, str] = {}
         self.stats = NetworkStats()
+        #: Per-query traffic statistics, keyed by ``Message.query_id``.
+        #: Only populated when messages carry a query tag (workload runs);
+        #: the aggregate :attr:`stats` always counts everything.
+        self.query_stats: dict[str, NetworkStats] = {}
         #: Transfer arbiter state: waiting transfers (priority heap),
         #: per-host active-transfer counts, and a FIFO tie-breaker.
         self._waiting: list[tuple] = []
@@ -99,8 +105,11 @@ class Network:
         #: Optional piggyback source: ``(src_host, dst_host) -> dict`` with
         #: at least a ``"bytes"`` entry; attached to outgoing messages.
         self.piggyback_source: Optional[Callable[[str, str], Optional[dict]]] = None
-        #: Optional piggyback sink: ``(dst_host, piggyback_dict) -> None``.
-        self.piggyback_sink: Optional[Callable[[str, dict], None]] = None
+        #: Optional piggyback sink:
+        #: ``(dst_host, piggyback_dict, query_id) -> None``.
+        self.piggyback_sink: Optional[
+            Callable[[str, dict, Optional[str]], None]
+        ] = None
         #: Fault injector (see :meth:`install_faults`).  None (the
         #: default) keeps transfers on the exact unfaulted code path.
         self._faults = None
@@ -108,6 +117,13 @@ class Network:
     def install_faults(self, injector) -> None:
         """Route transfers through ``injector``'s outage/loss/retry model."""
         self._faults = injector
+
+    def stats_for(self, query_id: str) -> NetworkStats:
+        """The per-query traffic counters for ``query_id`` (created at zero)."""
+        stats = self.query_stats.get(query_id)
+        if stats is None:
+            stats = self.query_stats[query_id] = NetworkStats()
+        return stats
 
     # -- topology ---------------------------------------------------------
     def add_host(self, host: Host) -> Host:
@@ -224,6 +240,8 @@ class Network:
         tracer = self._tracer
         if src == dst:
             self.stats.local_deliveries += 1
+            if message.query_id is not None:
+                self.stats_for(message.query_id).local_deliveries += 1
             if tracer.enabled:
                 tracer.emit(
                     MESSAGE_SEND,
@@ -299,6 +317,11 @@ class Network:
         dst_node.stats.nic_busy_time += duration
         self.stats.transfers += 1
         self.stats.bytes_on_wire += message.wire_size
+        query_id = message.query_id
+        if query_id is not None:
+            query_stats = self.stats_for(query_id)
+            query_stats.transfers += 1
+            query_stats.bytes_on_wire += message.wire_size
         link.note_transfer(message.wire_size)
 
         observation = TransferObservation(
@@ -309,9 +332,11 @@ class Network:
             started=started,
             finished=finished,
             kind=message.kind,
+            query_id=query_id,
         )
         tracer = self._tracer
         if tracer.enabled:
+            tag = {} if query_id is None else {"query_id": query_id}
             tracer.span(
                 LINK_TRANSFER,
                 started,
@@ -322,13 +347,14 @@ class Network:
                 wire_bytes=message.wire_size,
                 bandwidth=observation.measured_bandwidth,
                 uid=message.uid,
+                **tag,
             )
             tracer.observe("link.transfer_seconds", duration)
 
         for observer in self.observers:
             observer(observation)
         if self.piggyback_sink is not None and message.piggyback is not None:
-            self.piggyback_sink(dst, message.piggyback)
+            self.piggyback_sink(dst, message.piggyback, query_id)
 
         message.delivered_at = self.env.now
         self._deliver(message, dst)
@@ -351,6 +377,8 @@ class Network:
         faults = self._faults
         retry = faults.retry
         tracer = self._tracer
+        query_id = message.query_id
+        tag = {} if query_id is None else {"query_id": query_id}
         attempt = 0
         while True:
             attempt += 1
@@ -365,6 +393,8 @@ class Network:
                 # Lost in flight: the bytes went on the wire and vanished.
                 # Pay the send time, then back off and retransmit.
                 self.stats.dropped_bytes += message.wire_size
+                if query_id is not None:
+                    self.stats_for(query_id).dropped_bytes += message.wire_size
                 if tracer.enabled:
                     tracer.emit(
                         NET_DROP,
@@ -373,6 +403,7 @@ class Network:
                         dst_host=dst,
                         uid=message.uid,
                         bytes=message.wire_size,
+                        **tag,
                     )
                 reason = "loss"
                 wait = duration + retry.backoff_delay(attempt)
@@ -380,6 +411,8 @@ class Network:
                 wait = retry.backoff_delay(attempt)
             if retry.max_attempts is not None and attempt >= retry.max_attempts:
                 self.stats.abandoned_messages += 1
+                if query_id is not None:
+                    self.stats_for(query_id).abandoned_messages += 1
                 if tracer.enabled:
                     tracer.emit(
                         NET_ABANDON,
@@ -389,6 +422,7 @@ class Network:
                         uid=message.uid,
                         attempts=attempt,
                         reason=reason,
+                        **tag,
                     )
                 self._active_transfers[src] -= 1
                 self._active_transfers[dst] -= 1
@@ -402,6 +436,8 @@ class Network:
                 self._dispatch_transfers()
                 return None
             self.stats.retransmissions += 1
+            if query_id is not None:
+                self.stats_for(query_id).retransmissions += 1
             if tracer.enabled:
                 tracer.emit(
                     NET_RETRANSMIT,
@@ -412,16 +448,22 @@ class Network:
                     attempt=attempt,
                     reason=reason,
                     wait=wait,
+                    **tag,
                 )
             yield self.env.timeout(wait)
 
     def _deliver(self, message: Message, arrived_at: str) -> None:
         actual = self._actor_hosts.get(message.dst_actor, arrived_at)
         tracer = self._tracer
+        tag = (
+            {} if message.query_id is None else {"query_id": message.query_id}
+        )
         if actual != arrived_at:
             # The destination actor moved while the message was in flight:
             # forward it (mobile-object runtimes do exactly this).
             self.stats.forwarded += 1
+            if message.query_id is not None:
+                self.stats_for(message.query_id).forwarded += 1
             if tracer.enabled:
                 tracer.emit(
                     MESSAGE_FORWARD,
@@ -430,6 +472,7 @@ class Network:
                     actor=message.dst_actor,
                     from_host=arrived_at,
                     to_host=actual,
+                    **tag,
                 )
             self.send(message, src_host=arrived_at, dst_host=actual)
             return
@@ -441,5 +484,6 @@ class Network:
                 actor=message.dst_actor,
                 host=arrived_at,
                 kind=message.kind.value,
+                **tag,
             )
         self.hosts[arrived_at].mailbox(message.dst_actor).deliver(message)

@@ -27,10 +27,17 @@ from repro.obs.exporters import (
 from repro.obs.summary import (
     TraceSummary,
     format_trace_summary,
+    query_records,
     replay_aggregates,
     summarize_records,
 )
-from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer, ensure_tracer
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    ScopedTracer,
+    Tracer,
+    ensure_tracer,
+)
 
 __all__ = [
     "events",
@@ -46,10 +53,12 @@ __all__ = [
     "write_jsonl",
     "TraceSummary",
     "format_trace_summary",
+    "query_records",
     "replay_aggregates",
     "summarize_records",
     "NULL_TRACER",
     "NullTracer",
+    "ScopedTracer",
     "Tracer",
     "ensure_tracer",
 ]

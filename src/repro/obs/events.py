@@ -110,6 +110,22 @@ Span events
 ``compute``
     An operator composing its inputs.  Fields: ``actor``, ``host``,
     ``iteration``.
+
+The ``query_id`` tag
+--------------------
+
+In a concurrent workload run (:mod:`repro.workload`) every event that is
+attributable to one query additionally carries a ``query_id`` field: the
+per-query engine components emit through a
+:class:`~repro.obs.tracer.ScopedTracer`, and the shared network/monitor
+layers copy the tag from the message or transfer that triggered the
+event.  Events of shared machinery — monitoring estimates answered from
+a host cache, fault-plan timeline boundaries, frame records — stay
+untagged.  Single-query runs through
+:func:`repro.engine.simulation.run_simulation` never set the field, so
+their traces are byte-identical to pre-workload ones.  Use
+:func:`repro.obs.summary.query_records` to slice one query's replayable
+view out of a shared trace.
 """
 
 from __future__ import annotations

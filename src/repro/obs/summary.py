@@ -26,6 +26,30 @@ from repro.obs import events as ev
 from repro.obs.exporters import events_only
 
 
+def query_records(
+    records: Iterable[dict[str, Any]], query_id: str
+) -> list[dict[str, Any]]:
+    """One query's slice of a concurrent-workload trace.
+
+    Keeps every record that is tagged with ``query_id`` *or* carries no
+    ``query_id`` at all.  Untagged records are shared context — frame
+    records, monitoring estimates, fault-timeline boundaries — that each
+    query's replay must still see (e.g. ``fault.host_up`` increments
+    ``host_downtime_seconds`` for every query of the run, exactly as the
+    live :meth:`~repro.engine.runtime.Runtime.finalize_metrics` copies
+    the shared injector's downtime into every query's metrics).
+
+    Feeding the slice to :func:`replay_aggregates` (or
+    :meth:`repro.engine.metrics.RunMetrics.from_trace`) rebuilds that
+    query's ``RunMetrics`` bit-exactly.
+    """
+    return [
+        record
+        for record in records
+        if record.get("query_id", query_id) == query_id
+    ]
+
+
 def replay_aggregates(records: Iterable[dict[str, Any]]) -> dict[str, Any]:
     """Rebuild :class:`~repro.engine.metrics.RunMetrics` fields from a trace.
 

@@ -123,6 +123,58 @@ class NullTracer:
         pass
 
 
+class ScopedTracer:
+    """A view of another tracer that stamps fixed fields on every event.
+
+    The workload engine hands each query's runtime a
+    ``ScopedTracer(shared, query_id=...)`` so every event the query emits
+    carries its ``query_id`` while all queries still share one
+    chronological event stream.  Counters, histograms, metadata and the
+    kernel hook delegate to the wrapped tracer unscoped.
+
+    ``enabled`` is snapshotted from the wrapped tracer at construction,
+    so the ``if tracer.enabled:`` zero-cost-off guards keep working: a
+    scoped view of the :data:`NULL_TRACER` is itself disabled.
+    """
+
+    __slots__ = ("_inner", "_fields", "enabled")
+
+    def __init__(self, inner: "Tracer | NullTracer | ScopedTracer", **fields: Any) -> None:
+        self._inner = inner
+        self._fields = fields
+        self.enabled = inner.enabled
+
+    def emit(self, event_type: str, t: float, **fields: Any) -> None:
+        self._inner.emit(event_type, t, **{**self._fields, **fields})
+
+    def span(
+        self, event_type: str, start: float, end: float, **fields: Any
+    ) -> None:
+        self._inner.span(event_type, start, end, **{**self._fields, **fields})
+
+    def incr(self, name: str, value: float = 1) -> None:
+        self._inner.incr(name, value)
+
+    def observe(self, name: str, value: float) -> None:
+        self._inner.observe(name, value)
+
+    def histogram_summary(self) -> dict[str, dict[str, float]]:
+        return self._inner.histogram_summary()
+
+    def kernel_hook(self, now: float, event: Any) -> None:
+        self._inner.kernel_hook(now, event)
+
+    @property
+    def meta(self) -> dict[str, Any]:
+        """The wrapped tracer's (shared) run metadata."""
+        return getattr(self._inner, "meta", {})
+
+    @property
+    def bound_fields(self) -> dict[str, Any]:
+        """The fields this view stamps onto every event."""
+        return dict(self._fields)
+
+
 #: Shared no-op tracer: the default everywhere a tracer is accepted.
 NULL_TRACER = NullTracer()
 

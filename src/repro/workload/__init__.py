@@ -1,0 +1,78 @@
+"""repro.workload — concurrent multi-query workloads on a shared network.
+
+The single-query engine answers "how fast is one combination query under
+this placement algorithm?".  This package answers the fleet question:
+N clients issuing queries — open- or closed-loop, with a heterogeneous
+mix of planners and tree sizes — all contending for the same wide-area
+links, NICs, monitoring substrate and fault timeline.
+
+* :class:`WorkloadSpec` / :class:`QueryClass` — the declarative spec.
+* :class:`OpenLoop` / :class:`ClosedLoop` — seeded arrival disciplines.
+* :func:`run_workload` / :class:`WorkloadEngine` — execution.
+* :func:`run_workload_sweep` — parallel batches of workloads.
+* :func:`fleet_from_trace` — rebuild the fleet summary from a trace.
+
+Every trace event of a workload run is tagged with its ``query_id``, so
+a shared trace can be sliced per query
+(:func:`repro.obs.summary.query_records`) and replayed bit-exactly.
+"""
+
+from repro.workload.arrivals import (
+    Arrivals,
+    ClosedLoop,
+    OpenLoop,
+    arrival_rng,
+    open_loop_times,
+    think_seconds,
+)
+from repro.workload.engine import (
+    QueryResult,
+    ScheduledQuery,
+    WorkloadEngine,
+    WorkloadResult,
+    build_schedule,
+    run_workload,
+)
+from repro.workload.metrics import (
+    WORKLOAD_SCHEMA,
+    LinkUsage,
+    LinkUsageRecorder,
+    QueryOutcome,
+    build_fleet_summary,
+    fleet_from_trace,
+    jain_index,
+)
+from repro.workload.spec import (
+    QueryClass,
+    WorkloadSpec,
+    client_of,
+    query_id_for,
+)
+from repro.workload.sweep import run_workload_sweep
+
+__all__ = [
+    "Arrivals",
+    "ClosedLoop",
+    "OpenLoop",
+    "arrival_rng",
+    "open_loop_times",
+    "think_seconds",
+    "QueryResult",
+    "ScheduledQuery",
+    "WorkloadEngine",
+    "WorkloadResult",
+    "build_schedule",
+    "run_workload",
+    "WORKLOAD_SCHEMA",
+    "LinkUsage",
+    "LinkUsageRecorder",
+    "QueryOutcome",
+    "build_fleet_summary",
+    "fleet_from_trace",
+    "jain_index",
+    "QueryClass",
+    "WorkloadSpec",
+    "client_of",
+    "query_id_for",
+    "run_workload_sweep",
+]

@@ -1,0 +1,92 @@
+"""Arrival processes: when each client issues its queries.
+
+Two disciplines, both seeded and fully deterministic:
+
+* **Open loop** (:class:`OpenLoop`) — each client issues queries at
+  externally-driven instants, independent of how long queries take.
+  ``process="poisson"`` draws exponential inter-arrival gaps with mean
+  ``1/rate``; ``process="fixed"`` issues exactly every ``1/rate``
+  seconds starting at t=0.  Open-loop load keeps pressing even when the
+  network is saturated, which is what exposes contention collapse.
+* **Closed loop** (:class:`ClosedLoop`) — each client waits for its
+  previous query to complete, thinks for a while, then issues the next.
+  ``process="fixed"`` thinks exactly ``think_time`` seconds;
+  ``process="poisson"`` draws exponential think times with that mean.
+  Closed-loop load self-regulates: a slow network slows the clients.
+
+Every client gets its own :func:`arrival_rng` stream derived from
+``(workload seed, client index)``, so adding a client never perturbs the
+arrival sequence of existing ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+_OPEN_PROCESSES = ("poisson", "fixed")
+_CLOSED_PROCESSES = ("fixed", "poisson")
+
+
+@dataclass(frozen=True)
+class OpenLoop:
+    """Rate-driven arrivals: queries are issued regardless of completions."""
+
+    #: Mean queries per second issued by each client.
+    rate: float
+    #: ``"poisson"`` (exponential gaps) or ``"fixed"`` (every 1/rate s).
+    process: str = "poisson"
+
+    def __post_init__(self) -> None:
+        if not self.rate > 0:
+            raise ValueError(f"open-loop rate must be positive, got {self.rate!r}")
+        if self.process not in _OPEN_PROCESSES:
+            raise ValueError(f"unknown open-loop process {self.process!r}")
+
+
+@dataclass(frozen=True)
+class ClosedLoop:
+    """Completion-driven arrivals: think, issue, wait, repeat."""
+
+    #: Seconds (or mean seconds, for ``"poisson"``) between a query's
+    #: completion and the client's next issue.  Zero chains back-to-back.
+    think_time: float = 0.0
+    #: ``"fixed"`` (exactly think_time) or ``"poisson"`` (exponential).
+    process: str = "fixed"
+
+    def __post_init__(self) -> None:
+        if self.think_time < 0:
+            raise ValueError(
+                f"think_time must be non-negative, got {self.think_time!r}"
+            )
+        if self.process not in _CLOSED_PROCESSES:
+            raise ValueError(f"unknown closed-loop process {self.process!r}")
+
+
+Arrivals = Union[OpenLoop, ClosedLoop]
+
+
+def arrival_rng(seed: int, client_index: int) -> np.random.Generator:
+    """The arrival/think random stream for one client."""
+    return np.random.default_rng((seed, 4201, client_index))
+
+
+def open_loop_times(
+    arrivals: OpenLoop, count: int, rng: np.random.Generator
+) -> list[float]:
+    """The ``count`` issue instants for one open-loop client, ascending."""
+    if count <= 0:
+        return []
+    if arrivals.process == "poisson":
+        gaps = rng.exponential(1.0 / arrivals.rate, size=count)
+        return [float(t) for t in np.cumsum(gaps)]
+    return [i / arrivals.rate for i in range(count)]
+
+
+def think_seconds(arrivals: ClosedLoop, rng: np.random.Generator) -> float:
+    """One think-time draw for a closed-loop client."""
+    if arrivals.process == "poisson":
+        return float(rng.exponential(arrivals.think_time))
+    return arrivals.think_time

@@ -1,0 +1,250 @@
+"""Fleet-level metrics for concurrent workloads.
+
+One query's outcome is a plain :class:`~repro.engine.metrics.RunMetrics`;
+this module aggregates a fleet of them — plus the shared network's
+per-link usage — into a schema-tagged summary dict:
+
+* latency percentiles (p50/p95/p99) over completed queries, where a
+  query's latency is its last arrival minus its issue instant;
+* Jain's fairness index over per-client mean latencies;
+* relocations per query and per-link utilization/contention on the
+  shared substrate.
+
+:func:`fleet_from_trace` rebuilds the identical summary from a recorded
+workload trace alone: per-query metrics replay through
+:func:`repro.obs.summary.query_records` +
+:meth:`~repro.engine.metrics.RunMetrics.from_trace`, link usage replays
+from the tagged ``link.transfer`` spans.  Both paths funnel through
+:func:`build_fleet_summary`, so live and replayed summaries are equal
+by construction whenever the trace is complete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.engine.metrics import RunMetrics
+from repro.obs.events import LINK_TRANSFER, RUN_END, RUN_META
+from repro.obs.summary import query_records
+from repro.workload.spec import client_of
+
+#: Version tag carried by every fleet summary dict.
+WORKLOAD_SCHEMA = 1
+
+
+def jain_index(values: Sequence[float]) -> float:
+    """Jain's fairness index over ``values`` (1.0 = perfectly fair)."""
+    xs = [float(v) for v in values]
+    if not xs:
+        return 1.0
+    square_sum = sum(v * v for v in xs)
+    if square_sum == 0.0:
+        return 1.0
+    total = sum(xs)
+    return (total * total) / (len(xs) * square_sum)
+
+
+@dataclass
+class LinkUsage:
+    """Accumulated wire activity on one canonical host pair."""
+
+    bytes: float = 0.0
+    busy_seconds: float = 0.0
+    transfers: int = 0
+    #: Bytes attributable to each query (untagged traffic is excluded).
+    by_query: dict[str, float] = field(default_factory=dict)
+
+    def note(
+        self, wire_bytes: float, seconds: float, query_id: Optional[str]
+    ) -> None:
+        self.bytes += wire_bytes
+        self.busy_seconds += seconds
+        self.transfers += 1
+        if query_id is not None:
+            self.by_query[query_id] = self.by_query.get(query_id, 0.0) + wire_bytes
+
+
+class LinkUsageRecorder:
+    """A network observer collecting per-link, per-query usage."""
+
+    def __init__(self) -> None:
+        self.links: dict[tuple[str, str], LinkUsage] = {}
+
+    def observe(self, observation) -> None:
+        a, b = observation.src_host, observation.dst_host
+        key = (a, b) if a < b else (b, a)
+        usage = self.links.get(key)
+        if usage is None:
+            usage = self.links[key] = LinkUsage()
+        usage.note(
+            observation.wire_bytes,
+            observation.finished - observation.started,
+            observation.query_id,
+        )
+
+
+@dataclass
+class QueryOutcome:
+    """One query's contribution to the fleet summary."""
+
+    query_id: str
+    class_name: str
+    issued_at: float
+    metrics: RunMetrics
+
+    @property
+    def finished(self) -> bool:
+        return not self.metrics.truncated
+
+    @property
+    def latency(self) -> Optional[float]:
+        if self.metrics.truncated or not self.metrics.arrival_times:
+            return None
+        return self.metrics.completion_time - self.issued_at
+
+
+def _latency_block(latencies: Sequence[float]) -> dict[str, Any]:
+    if not latencies:
+        return {"count": 0, "mean": None, "p50": None, "p95": None,
+                "p99": None, "max": None}
+    arr = np.asarray(latencies, dtype=float)
+    return {
+        "count": int(arr.size),
+        "mean": float(arr.mean()),
+        "p50": float(np.percentile(arr, 50)),
+        "p95": float(np.percentile(arr, 95)),
+        "p99": float(np.percentile(arr, 99)),
+        "max": float(arr.max()),
+    }
+
+
+def build_fleet_summary(
+    outcomes: Sequence[QueryOutcome],
+    links: dict[tuple[str, str], LinkUsage],
+    elapsed: float,
+    scheduled: Optional[int] = None,
+) -> dict[str, Any]:
+    """The fleet summary dict (``"workload_schema": 1``).
+
+    ``outcomes`` must be in launch order; ``scheduled`` is the number of
+    queries the workload *planned* (closed-loop sessions truncated by
+    ``max_sim_time`` may launch fewer).
+    """
+    latencies = [o.latency for o in outcomes if o.latency is not None]
+    per_client: dict[str, dict[str, Any]] = {}
+    for outcome in outcomes:
+        client = client_of(outcome.query_id)
+        bucket = per_client.setdefault(
+            client, {"queries": 0, "completed": 0, "latencies": []}
+        )
+        bucket["queries"] += 1
+        if outcome.latency is not None:
+            bucket["completed"] += 1
+            bucket["latencies"].append(outcome.latency)
+    client_means = []
+    for client in sorted(per_client):
+        bucket = per_client[client]
+        values = bucket.pop("latencies")
+        bucket["mean_latency"] = (
+            float(np.mean(values)) if values else None
+        )
+        if bucket["mean_latency"] is not None:
+            client_means.append(bucket["mean_latency"])
+
+    relocations = sum(o.metrics.relocations for o in outcomes)
+    link_block: dict[str, Any] = {}
+    for (a, b), usage in sorted(links.items()):
+        link_block[f"{a}--{b}"] = {
+            "bytes": usage.bytes,
+            "busy_seconds": usage.busy_seconds,
+            "transfers": usage.transfers,
+            "utilization": (usage.busy_seconds / elapsed) if elapsed > 0 else 0.0,
+            "queries": {
+                qid: usage.by_query[qid] for qid in sorted(usage.by_query)
+            },
+        }
+
+    return {
+        "workload_schema": WORKLOAD_SCHEMA,
+        "elapsed": elapsed,
+        "scheduled": len(outcomes) if scheduled is None else scheduled,
+        "launched": len(outcomes),
+        "completed": sum(1 for o in outcomes if o.finished),
+        "truncated": sum(1 for o in outcomes if not o.finished),
+        "latency": _latency_block(latencies),
+        "fairness_jain": jain_index(client_means),
+        "relocations": {
+            "total": relocations,
+            "per_query_mean": (relocations / len(outcomes)) if outcomes else 0.0,
+            "aborted": sum(o.metrics.aborted_relocations for o in outcomes),
+        },
+        "bytes_on_wire": sum(o.metrics.bytes_on_wire for o in outcomes),
+        "links": link_block,
+        "per_client": per_client,
+        "queries": [
+            {
+                "query_id": o.query_id,
+                "class": o.class_name,
+                "algorithm": o.metrics.algorithm,
+                "issued_at": o.issued_at,
+                "latency": o.latency,
+                "completion_time": (
+                    o.metrics.completion_time if o.metrics.arrival_times else None
+                ),
+                "truncated": o.metrics.truncated,
+                "images_delivered": len(o.metrics.arrival_times),
+                "relocations": o.metrics.relocations,
+                "bytes_on_wire": o.metrics.bytes_on_wire,
+            }
+            for o in outcomes
+        ],
+    }
+
+
+def fleet_from_trace(records: Iterable[dict[str, Any]]) -> dict[str, Any]:
+    """Rebuild the fleet summary from a recorded workload trace.
+
+    Accepts the full JSONL record list (header/footer frames ignored).
+    Queries are discovered from their tagged ``run.meta`` events, in
+    launch order; per-query metrics replay bit-exactly through
+    :meth:`RunMetrics.from_trace` on the query's record slice.
+    """
+    events = [r for r in records if "type" in r]
+    order: list[str] = []
+    issued: dict[str, float] = {}
+    class_names: dict[str, str] = {}
+    elapsed = 0.0
+    for record in events:
+        qid = record.get("query_id")
+        if record["type"] == RUN_META and qid is not None and qid not in issued:
+            order.append(qid)
+            issued[qid] = record["t"]
+            class_names[qid] = record.get("query_class", record["algorithm"])
+        elif record["type"] == RUN_END:
+            elapsed = max(elapsed, record["t"])
+
+    outcomes = [
+        QueryOutcome(
+            query_id=qid,
+            class_name=class_names[qid],
+            issued_at=issued[qid],
+            metrics=RunMetrics.from_trace(query_records(events, qid)),
+        )
+        for qid in order
+    ]
+
+    links: dict[tuple[str, str], LinkUsage] = {}
+    for record in events:
+        if record["type"] != LINK_TRANSFER:
+            continue
+        a, b = record["src_host"], record["dst_host"]
+        key = (a, b) if a < b else (b, a)
+        usage = links.get(key)
+        if usage is None:
+            usage = links[key] = LinkUsage()
+        usage.note(record["wire_bytes"], record["dur"], record.get("query_id"))
+
+    return build_fleet_summary(outcomes, links, elapsed)

@@ -1,0 +1,99 @@
+"""Parallel execution of workload batches.
+
+Mirrors :mod:`repro.experiments.parallel`: a batch of named
+:class:`~repro.workload.spec.WorkloadSpec` tasks fans out over a
+:class:`~concurrent.futures.ProcessPoolExecutor` with bit-identical
+results to the serial loop — every workload is a pure function of its
+spec, results are re-assembled in task order, and platforms without
+process pools silently degrade to the serial path.
+
+Specs whose ``library`` is ``None`` rebuild the trace study inside each
+worker from ``study_seed`` (cached per process), so the ~66-pair trace
+library never crosses a pipe per task.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence
+
+from repro.experiments.parallel import _POOL_UNAVAILABLE, resolve_workers
+from repro.workload.engine import run_workload
+from repro.workload.spec import WorkloadSpec
+
+#: One task: ``(name, spec)``; results are keyed by name.
+WorkloadTask = tuple[str, WorkloadSpec]
+
+
+def _normalize_tasks(tasks: Sequence[tuple]) -> list[WorkloadTask]:
+    normalized: list[WorkloadTask] = []
+    seen: set[str] = set()
+    for task in tasks:
+        if len(task) != 2:
+            raise ValueError(f"task must be (name, WorkloadSpec), got {task!r}")
+        name, spec = task
+        name = str(name)
+        if not isinstance(spec, WorkloadSpec):
+            raise ValueError(f"task {name!r} is not a WorkloadSpec: {spec!r}")
+        if name in seen:
+            raise ValueError(f"duplicate workload task name {name!r}")
+        seen.add(name)
+        normalized.append((name, spec))
+    return normalized
+
+
+def _run_task(task: WorkloadTask) -> tuple[str, dict[str, Any]]:
+    """Worker body: run one workload, return its fleet summary.
+
+    Only the JSON-safe fleet dict crosses the pipe back — per-query
+    :class:`~repro.engine.metrics.RunMetrics` are embedded as summaries
+    inside it.
+    """
+    name, spec = task
+    return name, run_workload(spec).to_dict()
+
+
+def run_workload_sweep(
+    tasks: Sequence[tuple],
+    *,
+    workers: Optional[int] = None,
+    progress: Optional[Callable[[str, dict], None]] = None,
+) -> dict[str, dict[str, Any]]:
+    """Run a batch of ``(name, WorkloadSpec)`` tasks.
+
+    Returns ``{name: fleet summary dict}`` with one entry per task, in
+    task order, independent of the worker count.  ``workers`` resolves
+    exactly as in :func:`repro.experiments.parallel.resolve_workers`
+    (explicit argument, then ``REPRO_WORKERS``, then serial).
+    """
+    normalized = _normalize_tasks(tasks)
+    effective = resolve_workers(workers)
+    if effective > 1 and len(normalized) > 1:
+        try:
+            return _run_parallel(normalized, effective, progress)
+        except _POOL_UNAVAILABLE:
+            pass  # no process pool on this platform: degrade to serial
+    results: dict[str, dict[str, Any]] = {}
+    for task in normalized:
+        name, fleet = _run_task(task)
+        results[name] = fleet
+        if progress is not None:
+            progress(name, fleet)
+    return results
+
+
+def _run_parallel(
+    tasks: Sequence[WorkloadTask],
+    workers: int,
+    progress: Optional[Callable[[str, dict], None]],
+) -> dict[str, dict[str, Any]]:
+    from concurrent.futures import ProcessPoolExecutor
+
+    results: dict[str, dict[str, Any]] = {}
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        # ``map`` yields in submission order: progress fires in task
+        # order even though execution interleaves.
+        for name, fleet in pool.map(_run_task, tasks, chunksize=1):
+            results[name] = fleet
+            if progress is not None:
+                progress(name, fleet)
+    return results

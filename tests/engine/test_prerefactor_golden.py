@@ -1,0 +1,39 @@
+"""Pin run_simulation to its pre-workload-refactor behaviour.
+
+The golden file was captured before ``build_simulation`` was factored
+into :func:`repro.engine.simulation.build_query` and before the
+namespace/query_id plumbing landed.  Every summary field and every
+arrival time must match bit-for-bit: the refactor promised that the
+single-query path is a pure reorganization.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.engine.config import Algorithm
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_configuration
+
+GOLDEN = Path(__file__).parent / "data" / "golden_prerefactor.json"
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN.read_text())
+
+
+@pytest.mark.parametrize(
+    "algorithm",
+    [Algorithm.DOWNLOAD_ALL, Algorithm.ONE_SHOT, Algorithm.GLOBAL, Algorithm.LOCAL],
+    ids=lambda a: a.value,
+)
+class TestPreRefactorGolden:
+    def test_summary_and_arrivals_bit_identical(self, algorithm, golden):
+        setup = ExperimentConfig(num_servers=4, images_per_server=12)
+        metrics = run_configuration(setup, 0, algorithm)
+        expected = golden[algorithm.value]
+        got = dict(metrics.summary())
+        got["arrival_times"] = list(metrics.arrival_times)
+        assert got == expected

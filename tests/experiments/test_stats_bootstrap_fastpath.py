@@ -1,0 +1,46 @@
+"""The vectorized bootstrap fast path is bit-identical to the fallback."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.stats import _AXIS_AWARE, Interval, bootstrap
+
+
+def reference_bootstrap(values, statistic, n_resamples=2000, confidence=0.95, seed=0):
+    """The pre-optimization implementation, verbatim."""
+    data = np.asarray(list(values), dtype=float)
+    rng = np.random.default_rng(seed)
+    point = float(statistic(data))
+    if data.size == 1:
+        return Interval(point, point, point, confidence)
+    indices = rng.integers(0, data.size, size=(n_resamples, data.size))
+    stats = np.apply_along_axis(statistic, 1, data[indices])
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(stats, [alpha, 1.0 - alpha])
+    return Interval(point, float(low), float(high), confidence)
+
+
+@pytest.mark.parametrize("statistic", _AXIS_AWARE, ids=lambda s: s.__name__)
+@pytest.mark.parametrize("n", [2, 3, 17, 100])
+def test_fast_path_bit_identical_to_apply_along_axis(statistic, n):
+    rng = np.random.default_rng(42)
+    values = rng.normal(100.0, 25.0, size=n)
+    fast = bootstrap(values, statistic=statistic, n_resamples=500, seed=3)
+    slow = reference_bootstrap(values, statistic, n_resamples=500, seed=3)
+    assert fast == slow  # exact float equality, not approx
+
+
+def test_custom_statistic_uses_fallback_and_matches():
+    def trimmed_mean(row):
+        ordered = np.sort(row)
+        return float(ordered[1:-1].mean())
+
+    values = np.linspace(1.0, 50.0, 20)
+    fast = bootstrap(values, statistic=trimmed_mean, n_resamples=200, seed=1)
+    slow = reference_bootstrap(values, trimmed_mean, n_resamples=200, seed=1)
+    assert fast == slow
+
+
+def test_single_value_short_circuit():
+    interval = bootstrap([42.0], statistic=np.mean)
+    assert interval.point == interval.low == interval.high == 42.0

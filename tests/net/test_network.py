@@ -217,8 +217,9 @@ class TestTransfers:
             calls["source"] += 1
             return {"bytes": 24, "entries": []}
 
-        def sink(dst, piggyback):
+        def sink(dst, piggyback, query_id):
             calls["sink"] += 1
+            assert query_id is None
 
         net.piggyback_source = source
         net.piggyback_sink = sink

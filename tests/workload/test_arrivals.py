@@ -1,0 +1,91 @@
+"""Arrival processes: seeding, disciplines, and edge cases."""
+
+import pytest
+
+from repro.workload.arrivals import (
+    ClosedLoop,
+    OpenLoop,
+    arrival_rng,
+    open_loop_times,
+    think_seconds,
+)
+
+
+class TestOpenLoop:
+    def test_poisson_times_are_seed_reproducible(self):
+        arrivals = OpenLoop(rate=0.5, process="poisson")
+        a = open_loop_times(arrivals, 20, arrival_rng(7, 0))
+        b = open_loop_times(arrivals, 20, arrival_rng(7, 0))
+        assert a == b
+
+    def test_clients_get_independent_streams(self):
+        arrivals = OpenLoop(rate=0.5, process="poisson")
+        a = open_loop_times(arrivals, 20, arrival_rng(7, 0))
+        b = open_loop_times(arrivals, 20, arrival_rng(7, 1))
+        assert a != b
+
+    def test_adding_a_client_never_perturbs_existing_ones(self):
+        arrivals = OpenLoop(rate=0.5, process="poisson")
+        before = [open_loop_times(arrivals, 5, arrival_rng(7, c)) for c in range(2)]
+        after = [open_loop_times(arrivals, 5, arrival_rng(7, c)) for c in range(3)]
+        assert after[:2] == before
+
+    def test_poisson_times_ascend_and_mean_roughly_matches_rate(self):
+        arrivals = OpenLoop(rate=0.1, process="poisson")
+        times = open_loop_times(arrivals, 400, arrival_rng(1, 0))
+        assert times == sorted(times)
+        assert all(t > 0 for t in times)
+        mean_gap = times[-1] / len(times)
+        assert mean_gap == pytest.approx(10.0, rel=0.2)
+
+    def test_fixed_times_are_exact_multiples(self):
+        arrivals = OpenLoop(rate=0.25, process="fixed")
+        times = open_loop_times(arrivals, 4, arrival_rng(1, 0))
+        assert times == [0.0, 4.0, 8.0, 12.0]
+
+    def test_zero_count_is_empty(self):
+        arrivals = OpenLoop(rate=1.0)
+        assert open_loop_times(arrivals, 0, arrival_rng(0, 0)) == []
+
+    def test_zero_rate_rejected(self):
+        with pytest.raises(ValueError, match="rate"):
+            OpenLoop(rate=0.0)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError, match="rate"):
+            OpenLoop(rate=-1.0)
+
+    def test_unknown_process_rejected(self):
+        with pytest.raises(ValueError, match="process"):
+            OpenLoop(rate=1.0, process="uniform")
+
+
+class TestClosedLoop:
+    def test_fixed_think_is_exact(self):
+        arrivals = ClosedLoop(think_time=3.5, process="fixed")
+        rng = arrival_rng(0, 0)
+        assert think_seconds(arrivals, rng) == 3.5
+        assert think_seconds(arrivals, rng) == 3.5
+
+    def test_poisson_think_is_seed_reproducible(self):
+        arrivals = ClosedLoop(think_time=10.0, process="poisson")
+        a = [think_seconds(arrivals, arrival_rng(3, 0)) for _ in range(1)]
+        b = [think_seconds(arrivals, arrival_rng(3, 0)) for _ in range(1)]
+        assert a == b
+
+    def test_poisson_think_varies_across_draws(self):
+        arrivals = ClosedLoop(think_time=10.0, process="poisson")
+        rng = arrival_rng(3, 0)
+        draws = {think_seconds(arrivals, rng) for _ in range(10)}
+        assert len(draws) > 1
+
+    def test_zero_think_is_back_to_back(self):
+        assert think_seconds(ClosedLoop(think_time=0.0), arrival_rng(0, 0)) == 0.0
+
+    def test_negative_think_rejected(self):
+        with pytest.raises(ValueError, match="think_time"):
+            ClosedLoop(think_time=-1.0)
+
+    def test_unknown_process_rejected(self):
+        with pytest.raises(ValueError, match="process"):
+            ClosedLoop(think_time=1.0, process="gamma")

@@ -1,0 +1,61 @@
+"""The ``repro workload`` CLI subcommand."""
+
+import json
+
+from repro.cli import main
+from repro.workload import fleet_from_trace
+
+TINY = [
+    "workload",
+    "--clients", "2",
+    "--queries", "1",
+    "--servers", "4",
+    "--images", "4",
+    "--seed", "1",
+]
+
+
+class TestWorkloadSubcommand:
+    def test_json_output_is_a_fleet_summary(self, capsys):
+        assert main([*TINY, "--json"]) == 0
+        fleet = json.loads(capsys.readouterr().out)
+        assert fleet["workload_schema"] == 1
+        assert fleet["completed"] == 2
+        assert len(fleet["queries"]) == 2
+
+    def test_human_output_mentions_every_query(self, capsys):
+        assert main(TINY) == 0
+        out = capsys.readouterr().out
+        assert "2/2 queries completed" in out
+        assert "c0:0" in out and "c1:0" in out
+        assert "Jain fairness" in out
+
+    def test_trace_export_replays_to_the_same_fleet(self, capsys, tmp_path):
+        from repro.obs import read_jsonl
+
+        trace = tmp_path / "wl.jsonl"
+        assert main([*TINY, "--json", "--trace", str(trace)]) == 0
+        fleet = json.loads(capsys.readouterr().out)
+        assert fleet_from_trace(read_jsonl(trace)) == fleet
+
+    def test_open_loop_arrivals(self, capsys):
+        code = main(
+            [*TINY, "--arrivals", "open", "--rate", "0.05", "--json"]
+        )
+        assert code == 0
+        fleet = json.loads(capsys.readouterr().out)
+        assert fleet["completed"] == 2
+
+    def test_truncation_sets_exit_code(self, capsys):
+        assert main([*TINY, "--max-time", "5", "--json"]) == 1
+        fleet = json.loads(capsys.readouterr().out)
+        assert fleet["truncated"] >= 1
+
+    def test_mix_weights_parse(self, capsys):
+        code = main(
+            [*TINY, "--mix", "global=2,one-shot=1", "--json"]
+        )
+        assert code == 0
+        fleet = json.loads(capsys.readouterr().out)
+        classes = {q["class"] for q in fleet["queries"]}
+        assert classes <= {"global", "one-shot"}

@@ -1,0 +1,132 @@
+"""Fleet metrics: fairness, latency blocks, link usage, trace replay."""
+
+import pytest
+
+from repro.engine.metrics import RunMetrics
+from repro.workload.metrics import (
+    LinkUsage,
+    LinkUsageRecorder,
+    QueryOutcome,
+    build_fleet_summary,
+    jain_index,
+)
+
+
+class TestJainIndex:
+    def test_perfectly_fair(self):
+        assert jain_index([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+    def test_perfectly_unfair(self):
+        # One client gets everything: J -> 1/n.
+        assert jain_index([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_empty_and_zero_are_fair_by_convention(self):
+        assert jain_index([]) == 1.0
+        assert jain_index([0.0, 0.0]) == 1.0
+
+    def test_bounds(self):
+        values = [1.0, 2.0, 3.0, 10.0]
+        j = jain_index(values)
+        assert 1.0 / len(values) <= j <= 1.0
+
+
+def outcome(query_id, arrivals, issued_at=0.0, truncated=False, relocations=0):
+    metrics = RunMetrics(algorithm="one-shot", num_servers=2, images=len(arrivals))
+    metrics.arrival_times = list(arrivals)
+    metrics.truncated = truncated
+    metrics.relocations = relocations
+    return QueryOutcome(
+        query_id=query_id,
+        class_name="q",
+        issued_at=issued_at,
+        metrics=metrics,
+    )
+
+
+class TestFleetSummary:
+    def test_latency_percentiles(self):
+        outcomes = [
+            outcome(f"c{i}:0", [10.0 * (i + 1)], issued_at=0.0) for i in range(4)
+        ]
+        fleet = build_fleet_summary(outcomes, {}, elapsed=100.0)
+        assert fleet["latency"]["count"] == 4
+        assert fleet["latency"]["mean"] == pytest.approx(25.0)
+        assert fleet["latency"]["max"] == pytest.approx(40.0)
+        assert fleet["latency"]["p50"] == pytest.approx(25.0)
+
+    def test_truncated_queries_have_no_latency(self):
+        outcomes = [
+            outcome("c0:0", [10.0]),
+            outcome("c1:0", [5.0], truncated=True),
+        ]
+        fleet = build_fleet_summary(outcomes, {}, elapsed=50.0)
+        assert fleet["completed"] == 1
+        assert fleet["truncated"] == 1
+        assert fleet["latency"]["count"] == 1
+        assert fleet["queries"][1]["latency"] is None
+
+    def test_latency_subtracts_issue_time(self):
+        fleet = build_fleet_summary(
+            [outcome("c0:0", [30.0], issued_at=10.0)], {}, elapsed=30.0
+        )
+        assert fleet["queries"][0]["latency"] == pytest.approx(20.0)
+
+    def test_per_client_grouping_and_fairness(self):
+        outcomes = [
+            outcome("c0:0", [10.0]),
+            outcome("c0:1", [20.0]),
+            outcome("c1:0", [15.0]),
+        ]
+        fleet = build_fleet_summary(outcomes, {}, elapsed=30.0)
+        assert fleet["per_client"]["c0"]["queries"] == 2
+        assert fleet["per_client"]["c0"]["mean_latency"] == pytest.approx(15.0)
+        assert fleet["per_client"]["c1"]["mean_latency"] == pytest.approx(15.0)
+        assert fleet["fairness_jain"] == pytest.approx(1.0)
+
+    def test_relocation_aggregates(self):
+        outcomes = [
+            outcome("c0:0", [1.0], relocations=2),
+            outcome("c1:0", [1.0], relocations=4),
+        ]
+        fleet = build_fleet_summary(outcomes, {}, elapsed=10.0)
+        assert fleet["relocations"]["total"] == 6
+        assert fleet["relocations"]["per_query_mean"] == pytest.approx(3.0)
+
+    def test_link_block(self):
+        usage = LinkUsage()
+        usage.note(1000.0, 2.0, "c0:0")
+        usage.note(500.0, 1.0, None)  # engine-internal, untagged
+        fleet = build_fleet_summary(
+            [outcome("c0:0", [1.0])], {("a", "b"): usage}, elapsed=10.0
+        )
+        entry = fleet["links"]["a--b"]
+        assert entry["bytes"] == 1500.0
+        assert entry["transfers"] == 2
+        assert entry["utilization"] == pytest.approx(0.3)
+        assert entry["queries"] == {"c0:0": 1000.0}
+
+    def test_empty_fleet(self):
+        fleet = build_fleet_summary([], {}, elapsed=0.0, scheduled=0)
+        assert fleet["latency"]["mean"] is None
+        assert fleet["fairness_jain"] == 1.0
+        assert fleet["relocations"]["per_query_mean"] == 0.0
+
+
+class TestLinkUsageRecorder:
+    def test_canonicalizes_pairs(self):
+        class Obs:
+            def __init__(self, src, dst, query_id):
+                self.src_host = src
+                self.dst_host = dst
+                self.wire_bytes = 100.0
+                self.started = 0.0
+                self.finished = 1.0
+                self.query_id = query_id
+
+        recorder = LinkUsageRecorder()
+        recorder.observe(Obs("b", "a", "c0:0"))
+        recorder.observe(Obs("a", "b", "c1:0"))
+        assert list(recorder.links) == [("a", "b")]
+        usage = recorder.links[("a", "b")]
+        assert usage.transfers == 2
+        assert usage.by_query == {"c0:0": 100.0, "c1:0": 100.0}

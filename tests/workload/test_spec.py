@@ -1,0 +1,203 @@
+"""WorkloadSpec / QueryClass: validation, mix draws, spec assembly."""
+
+import pytest
+
+from repro.engine.config import Algorithm
+from repro.workload import (
+    ClosedLoop,
+    QueryClass,
+    WorkloadSpec,
+    client_of,
+    query_id_for,
+)
+from tests.conftest import complete_links, tiny_spec
+
+
+def one_class(**kwargs):
+    return QueryClass(name="q", algorithm=Algorithm.ONE_SHOT, **kwargs)
+
+
+def small_workload(**kwargs):
+    defaults = dict(
+        classes=(one_class(),),
+        num_servers=4,
+        images_per_server=3,
+    )
+    defaults.update(kwargs)
+    return WorkloadSpec(**defaults)
+
+
+class TestQueryClass:
+    def test_algorithm_string_coerced(self):
+        qclass = QueryClass(name="q", algorithm="local")
+        assert qclass.algorithm is Algorithm.LOCAL
+
+    def test_overrides_mapping_normalized(self):
+        qclass = one_class(overrides={"prefetch": False, "control_seed": 9})
+        assert qclass.overrides == (("control_seed", 9), ("prefetch", False))
+
+    def test_structural_override_rejected(self):
+        with pytest.raises(ValueError, match="structural"):
+            one_class(overrides={"num_servers": 2})
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(ValueError, match="weight"):
+            one_class(weight=0.0)
+
+
+class TestWorkloadSpecValidation:
+    def test_needs_a_class(self):
+        with pytest.raises(ValueError, match="query class"):
+            WorkloadSpec(classes=())
+
+    def test_duplicate_class_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            WorkloadSpec(classes=(one_class(), one_class()))
+
+    def test_class_server_count_must_fit_pool(self):
+        with pytest.raises(ValueError, match="servers"):
+            small_workload(classes=(one_class(num_servers=9),))
+
+    def test_override_hosts_require_explicit_links(self):
+        with pytest.raises(ValueError, match="link_traces"):
+            small_workload(server_hosts_override=("a", "b", "c", "d"))
+
+    def test_negative_clients_rejected(self):
+        with pytest.raises(ValueError, match="num_clients"):
+            small_workload(num_clients=-1)
+
+
+class TestQueryIds:
+    def test_round_trip(self):
+        qid = query_id_for(3, 7)
+        assert qid == "c3:7"
+        assert client_of(qid) == "c3"
+
+
+class TestMix:
+    def test_single_class_uses_no_randomness(self):
+        spec = small_workload(queries_per_client=5)
+        assert spec.mix_for(0) == [spec.classes[0]] * 5
+
+    def test_mix_is_seed_reproducible_and_weighted(self):
+        classes = (
+            QueryClass(name="a", algorithm=Algorithm.ONE_SHOT, weight=3.0),
+            QueryClass(name="b", algorithm=Algorithm.GLOBAL, weight=1.0),
+        )
+        spec = small_workload(classes=classes, queries_per_client=40, seed=5)
+        first = [c.name for c in spec.mix_for(0)]
+        again = [c.name for c in spec.mix_for(0)]
+        assert first == again
+        # With weight 3:1, class "a" should dominate.
+        assert first.count("a") > first.count("b")
+
+    def test_class_for_matches_mix(self):
+        classes = (
+            QueryClass(name="a", algorithm=Algorithm.ONE_SHOT),
+            QueryClass(name="b", algorithm=Algorithm.GLOBAL),
+        )
+        spec = small_workload(classes=classes, queries_per_client=6, seed=2)
+        mix = spec.mix_for(1)
+        for ordinal in range(6):
+            assert spec.class_for(1, ordinal) is mix[ordinal]
+
+
+class TestQuerySpec:
+    def test_seeds_differ_per_slot(self):
+        spec = small_workload(num_clients=2, queries_per_client=2)
+        seeds = {
+            spec.query_spec(spec.classes[0], c, o).workload_seed
+            for c in range(2)
+            for o in range(2)
+        }
+        assert len(seeds) == 4
+
+    def test_class_overrides_win(self):
+        qclass = one_class(overrides={"workload_seed": 424242, "prefetch": False})
+        spec = small_workload(classes=(qclass,))
+        qspec = spec.query_spec(qclass, 0, 0)
+        assert qspec.workload_seed == 424242
+        assert qspec.prefetch is False
+
+    def test_server_subset_is_sorted_and_reproducible(self):
+        qclass = one_class(num_servers=2)
+        spec = small_workload(classes=(qclass,), num_servers=4)
+        hosts = spec.query_servers(qclass, 0, 0)
+        assert hosts == spec.query_servers(qclass, 0, 0)
+        assert len(hosts) == 2
+        assert set(hosts) <= set(spec.server_hosts)
+        assert list(hosts) == sorted(hosts, key=spec.server_hosts.index)
+
+    def test_full_pool_skips_subset_draw(self):
+        spec = small_workload()
+        assert spec.query_servers(spec.classes[0], 0, 0) == spec.server_hosts
+
+
+class TestFromSimulationSpec:
+    def test_wraps_as_one_query_closed_loop(self):
+        sim = tiny_spec(Algorithm.LOCAL, images=4)
+        wrapped = WorkloadSpec.from_simulation_spec(sim)
+        assert wrapped.total_queries == 1
+        assert isinstance(wrapped.arrivals, ClosedLoop)
+        assert wrapped.arrivals.think_time == 0.0
+        rebuilt = wrapped.query_spec(wrapped.classes[0], 0, 0)
+        assert rebuilt == sim
+
+    def test_preserves_nondefault_fields(self):
+        sim = tiny_spec(
+            Algorithm.GLOBAL,
+            images=4,
+            prefetch=False,
+            relocation_period=120.0,
+            workload_seed=77,
+        )
+        wrapped = WorkloadSpec.from_simulation_spec(sim)
+        rebuilt = wrapped.query_spec(wrapped.classes[0], 0, 0)
+        assert rebuilt == sim
+
+
+class TestFromExperimentConfig:
+    def config(self, **kwargs):
+        from repro.experiments import ExperimentConfig
+
+        defaults = dict(
+            num_servers=4, images_per_server=6, seed=7, relocation_period=300.0
+        )
+        defaults.update(kwargs)
+        return ExperimentConfig(**defaults)
+
+    def test_substrate_mirrors_the_config(self):
+        config = self.config()
+        spec = WorkloadSpec.from_experiment_config(
+            config, (one_class(),), config_index=2, num_clients=3
+        )
+        assert spec.num_servers == 4
+        assert spec.images_per_server == 6
+        assert spec.network_seed == 7
+        assert spec.config_index == 2
+        assert spec.num_clients == 3
+        from repro.experiments.config import make_configuration
+
+        assert spec.resolve_links() == make_configuration(config, 2)
+
+    def test_config_knobs_become_class_overrides(self):
+        spec = WorkloadSpec.from_experiment_config(self.config(), (one_class(),))
+        qspec = spec.query_spec(spec.classes[0], 0, 0)
+        assert qspec.relocation_period == 300.0
+
+    def test_class_override_wins_over_config(self):
+        qclass = one_class(overrides={"relocation_period": 60.0})
+        spec = WorkloadSpec.from_experiment_config(self.config(), (qclass,))
+        qspec = spec.query_spec(spec.classes[0], 0, 0)
+        assert qspec.relocation_period == 60.0
+
+    def test_fault_plan_passes_through(self):
+        from repro.faults.plan import FaultPlan, LinkOutage
+
+        plan = FaultPlan(
+            link_outages=(LinkOutage(a="client", b="h0", start=1.0, end=2.0),)
+        )
+        spec = WorkloadSpec.from_experiment_config(
+            self.config(fault_plan=plan), (one_class(),)
+        )
+        assert spec.fault_plan is plan

@@ -106,6 +106,66 @@ def bench_sweep(setup: ExperimentConfig, n_configs: int, workers: int) -> dict:
     }
 
 
+def bench_workload(workers: int, n_seeds: int = 4) -> dict:
+    """Concurrent-fleet throughput plus workload-sweep serial vs parallel.
+
+    One mixed-planner fleet (4 clients x 2 queries, global + one-shot on
+    a shared 4-server network) timed end to end, then the same fleet
+    swept over ``n_seeds`` seeds serially and with a worker pool,
+    verifying the two produce bit-identical fleet summaries.
+    """
+    from dataclasses import replace as dc_replace
+
+    from repro.workload import (
+        ClosedLoop,
+        QueryClass,
+        WorkloadSpec,
+        run_workload,
+        run_workload_sweep,
+    )
+
+    spec = WorkloadSpec(
+        classes=(
+            QueryClass(name="global", algorithm=Algorithm.GLOBAL),
+            QueryClass(name="one-shot", algorithm=Algorithm.ONE_SHOT),
+        ),
+        num_clients=4,
+        queries_per_client=2,
+        arrivals=ClosedLoop(think_time=2.0),
+        seed=7,
+        num_servers=4,
+        images_per_server=6,
+    )
+
+    run_workload(spec)  # warm caches (trace library, placement, numpy)
+    t0 = time.perf_counter()
+    result = run_workload(spec)
+    single_seconds = time.perf_counter() - t0
+
+    tasks = [
+        (f"seed{s}", dc_replace(spec, seed=s)) for s in range(n_seeds)
+    ]
+    t0 = time.perf_counter()
+    serial = run_workload_sweep(tasks, workers=1)
+    serial_seconds = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    parallel = run_workload_sweep(tasks, workers=workers)
+    parallel_seconds = time.perf_counter() - t0
+
+    return {
+        "queries_per_fleet": spec.total_queries,
+        "fleet_seconds": round(single_seconds, 4),
+        "queries_per_second": round(spec.total_queries / single_seconds, 3),
+        "fleet_completed": result.fleet["completed"],
+        "sweep_seeds": n_seeds,
+        "workers": workers,
+        "sweep_serial_seconds": round(serial_seconds, 3),
+        "sweep_parallel_seconds": round(parallel_seconds, 3),
+        "sweep_parallel_speedup": round(serial_seconds / parallel_seconds, 3),
+        "bit_identical": serial == parallel,
+    }
+
+
 def bench_kernel(n_events: int = 100_000) -> dict:
     """Schedule-and-fire throughput of the event calendar."""
     env = Environment()
@@ -215,6 +275,18 @@ def main(argv=None) -> int:
         f"{overhead['tracer_on_seconds']}s "
         f"({overhead['on_over_off_ratio']}x, "
         f"{overhead['events_recorded']:,} events)"
+    )
+
+    print(f"[bench] concurrent workload fleet + sweep...", flush=True)
+    results["workload"] = bench_workload(args.workers)
+    workload = results["workload"]
+    print(
+        f"         fleet {workload['fleet_seconds']}s "
+        f"({workload['queries_per_second']} queries/s), sweep "
+        f"{workload['sweep_serial_seconds']}s serial vs "
+        f"{workload['sweep_parallel_seconds']}s parallel "
+        f"({workload['sweep_parallel_speedup']}x), "
+        f"bit-identical: {workload['bit_identical']}"
     )
 
     if not args.skip_sweep:
