@@ -185,8 +185,12 @@ def build_simulation(
     for i, a in enumerate(hosts):
         for b in hosts[i + 1 :]:
             key = (a, b) if a < b else (b, a)
+            # Prime the trace's byte prefix sums up front: library-cached
+            # noon segments arrive warm already, and ad-hoc traces pay the
+            # cumsum here, outside the simulated transfers.
+            trace = spec.link_traces[key].ensure_cum()
             network.add_link(
-                Link(a, b, spec.link_traces[key], startup_cost=spec.startup_cost)
+                Link(a, b, trace, startup_cost=spec.startup_cost)
             )
 
     monitoring = MonitoringSystem(network, spec.monitoring, tracer=tracer)

@@ -115,18 +115,110 @@ def make_configuration(
     Traces are drawn uniformly at random (with replacement) from the
     library and rebased to start at the path's local noon, exactly as in
     the paper.  The draw depends only on ``(setup.seed, config_index)``.
+
+    All link indices are drawn in one vectorized call (the PCG64 stream is
+    identical to per-link draws) and the segments come from the library's
+    per-pair noon-segment cache, so sampling a configuration is a handful
+    of dict lookups rather than 36 segment constructions.
     """
     if config_index < 0:
         raise ValueError(f"negative config index {config_index!r}")
     rng = np.random.default_rng((setup.seed, config_index))
     library = setup.trace_library()
     hosts = [*setup.server_hosts, setup.client_host]
-    links: dict[tuple[str, str], BandwidthTrace] = {}
+    keys: list[tuple[str, str]] = []
     for i, a in enumerate(hosts):
         for b in hosts[i + 1 :]:
-            key = (a, b) if a < b else (b, a)
-            links[key] = library.sample_noon_segment(rng)
-    return links
+            keys.append((a, b) if a < b else (b, a))
+    segments = library.sample_noon_segments(rng, len(keys))
+    return dict(zip(keys, segments))
+
+
+@dataclass(frozen=True)
+class SampledConfig:
+    """One frozen, reusable network configuration.
+
+    The paper's paired comparison evaluates all four algorithms on the
+    *same* sampled configuration, so the sweep engine samples each
+    configuration exactly once into this artifact and fans out
+    ``(config, algorithm)`` pairs against it — the link traces (immutable
+    :class:`~repro.traces.trace.BandwidthTrace` objects, prefix sums
+    precomputed) are shared read-only by every run built from it.
+    """
+
+    config_index: int
+    link_traces: dict[tuple[str, str], BandwidthTrace]
+    #: Both derived from ``(setup.seed, config_index)`` at sampling time,
+    #: so a spec built from the artifact never re-derives seeds.
+    workload_seed: int
+    control_seed: int
+
+
+#: Most-recently sampled configurations, keyed by ``(id(setup), index)``.
+#: The stored setup object guards against id reuse; the size bound keeps
+#: a sweep's working set (the configuration currently being fanned out
+#: across algorithms, plus a few neighbours) without pinning whole sweeps
+#: in memory.  Per-process, so pool workers each keep their own.
+_SAMPLED_MEMO: dict[tuple[int, int], tuple[ExperimentConfig, SampledConfig]] = {}
+_SAMPLED_MEMO_MAX = 8
+
+
+def sample_config(
+    setup: ExperimentConfig, config_index: int, *, cache: bool = True
+) -> SampledConfig:
+    """Sample (or fetch the memoized) configuration ``config_index``.
+
+    Sampling is a pure function of ``(setup, config_index)``, so the
+    build-once memo is invisible to results — it only removes the
+    redundant resampling the old per-run path performed once per
+    algorithm.  ``cache=False`` forces a fresh sample (benchmarks use it
+    to measure the build cost itself).
+    """
+    key = (id(setup), config_index)
+    if cache:
+        hit = _SAMPLED_MEMO.get(key)
+        if hit is not None and hit[0] is setup:
+            return hit[1]
+    sampled = SampledConfig(
+        config_index=config_index,
+        link_traces=make_configuration(setup, config_index),
+        workload_seed=setup.seed + config_index,
+        control_seed=setup.seed + config_index,
+    )
+    if cache:
+        if len(_SAMPLED_MEMO) >= _SAMPLED_MEMO_MAX:
+            _SAMPLED_MEMO.pop(next(iter(_SAMPLED_MEMO)))
+        _SAMPLED_MEMO[key] = (setup, sampled)
+    return sampled
+
+
+def build_spec_from_config(
+    setup: ExperimentConfig,
+    sampled: SampledConfig,
+    algorithm: Algorithm,
+    **overrides,
+) -> SimulationSpec:
+    """A :class:`SimulationSpec` running ``algorithm`` on a sampled config.
+
+    This is the fan-out half of the build-once pipeline: every algorithm
+    (and per-task override set) gets its own spec, but they all reference
+    the same frozen :class:`SampledConfig`.
+    """
+    base = SimulationSpec(
+        algorithm=algorithm,
+        tree_shape=setup.tree_shape,
+        num_servers=setup.num_servers,
+        link_traces=sampled.link_traces,
+        server_hosts=setup.server_hosts,
+        client_host=setup.client_host,
+        images_per_server=setup.images_per_server,
+        workload_seed=sampled.workload_seed,
+        relocation_period=setup.relocation_period,
+        local_extra_candidates=setup.local_extra_candidates,
+        control_seed=sampled.control_seed,
+        faults=setup.fault_plan,
+    )
+    return replace(base, **overrides) if overrides else base
 
 
 def build_spec(
@@ -139,20 +231,8 @@ def build_spec(
 
     ``overrides`` are forwarded to the spec (e.g. ``relocation_period``,
     ``prefetch``, ``barrier_priority``, ``local_extra_candidates``).
+    Successive calls for the same ``(setup, config_index)`` reuse the
+    build-once :class:`SampledConfig` artifact via :func:`sample_config`.
     """
-    links = make_configuration(setup, config_index)
-    base = SimulationSpec(
-        algorithm=algorithm,
-        tree_shape=setup.tree_shape,
-        num_servers=setup.num_servers,
-        link_traces=links,
-        server_hosts=setup.server_hosts,
-        client_host=setup.client_host,
-        images_per_server=setup.images_per_server,
-        workload_seed=setup.seed + config_index,
-        relocation_period=setup.relocation_period,
-        local_extra_candidates=setup.local_extra_candidates,
-        control_seed=setup.seed + config_index,
-        faults=setup.fault_plan,
-    )
-    return replace(base, **overrides) if overrides else base
+    sampled = sample_config(setup, config_index)
+    return build_spec_from_config(setup, sampled, algorithm, **overrides)

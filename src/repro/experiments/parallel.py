@@ -11,9 +11,14 @@ embarrassingly parallel — this module fans it out over a
   ``(config_index, algorithm)`` and re-assembled in serial order, so the
   caller never observes pool scheduling;
 * each worker runs an initializer that receives the
-  :class:`~repro.experiments.config.ExperimentConfig` **once** and
-  reconstructs the trace library from its seed inside the worker —
-  individual tasks never pickle traces (a library is ~66 two-day arrays);
+  :class:`~repro.experiments.config.ExperimentConfig` **once**,
+  reconstructs the trace library from its seed inside the worker and warms
+  its noon-segment cache — individual tasks never pickle traces (a library
+  is ~66 two-day arrays), they ship only integer indices and names;
+* each configuration is sampled **once** into a frozen
+  :class:`~repro.experiments.config.SampledConfig` and fanned out across
+  the algorithms comparing on it (default chunk sizes are aligned to whole
+  configuration groups so the reuse happens inside one worker);
 * the worker count comes from an explicit argument, falling back to the
   ``REPRO_WORKERS`` environment variable, falling back to 1 (serial);
   ``workers <= 0`` means "one per CPU";
@@ -34,7 +39,11 @@ from typing import Any, Callable, Mapping, Optional, Sequence
 from repro.engine.config import Algorithm
 from repro.engine.metrics import RunMetrics
 from repro.engine.simulation import run_simulation
-from repro.experiments.config import ExperimentConfig, build_spec
+from repro.experiments.config import (
+    ExperimentConfig,
+    build_spec_from_config,
+    sample_config,
+)
 
 #: Environment variable consulted when no explicit worker count is given.
 WORKERS_ENV = "REPRO_WORKERS"
@@ -120,17 +129,27 @@ def _init_worker(setup: ExperimentConfig) -> None:
     """
     global _WORKER_SETUP
     _WORKER_SETUP = setup
-    setup.trace_library()
+    # Warm the library's per-pair noon segments too: configuration
+    # sampling inside the worker then reduces to dict lookups, and the
+    # segments' prefix sums are computed once per worker, not per run.
+    setup.trace_library().warm_noon_segments()
 
 
 def _run_task(task: _Task) -> tuple[SweepKey, RunMetrics]:
-    """Simulate one task against the worker's installed setup."""
+    """Simulate one task against the worker's installed setup.
+
+    Tasks ship only ``(config_index, algorithm value, overrides)`` — the
+    configuration itself is sampled (or fetched from the build-once memo)
+    against the worker-resident setup, so consecutive algorithms on one
+    configuration share a single :class:`SampledConfig` artifact.
+    """
     config_index, algorithm_value, overrides = task
     setup = _WORKER_SETUP
     if setup is None:  # pragma: no cover - initializer always runs first
         raise RuntimeError("worker used before _init_worker ran")
-    spec = build_spec(
-        setup, config_index, Algorithm(algorithm_value), **dict(overrides)
+    sampled = sample_config(setup, config_index)
+    spec = build_spec_from_config(
+        setup, sampled, Algorithm(algorithm_value), **dict(overrides)
     )
     return (config_index, algorithm_value), run_simulation(spec)
 
@@ -141,10 +160,14 @@ def _run_serial(
     tasks: Sequence[_Task],
     progress: Optional[Callable],
 ) -> dict[SweepKey, RunMetrics]:
+    setup.trace_library().warm_noon_segments()
     results: dict[SweepKey, RunMetrics] = {}
     for config_index, algorithm_value, overrides in tasks:
-        spec = build_spec(
-            setup, config_index, Algorithm(algorithm_value), **dict(overrides)
+        # Build-once: the sample_config memo hands every algorithm of one
+        # configuration the same frozen SampledConfig artifact.
+        sampled = sample_config(setup, config_index)
+        spec = build_spec_from_config(
+            setup, sampled, Algorithm(algorithm_value), **dict(overrides)
         )
         metrics = run_simulation(spec)
         results[(config_index, algorithm_value)] = metrics
@@ -166,6 +189,19 @@ def _run_parallel(
         # A few chunks per worker balances dispatch overhead (tasks are
         # ~100 ms..s each) against tail latency on uneven task lengths.
         chunksize = max(1, len(tasks) // (workers * 4))
+        # Align chunks to whole configuration groups (the run length of
+        # the leading config index, e.g. 4 for a four-algorithm paired
+        # sweep): a worker that receives every algorithm of a
+        # configuration samples it once and reuses the artifact, instead
+        # of each worker resampling it for its slice of the group.
+        group = 1
+        first = tasks[0][0]
+        for task in tasks[1:]:
+            if task[0] != first:
+                break
+            group += 1
+        if group > 1:
+            chunksize = max(group, chunksize - chunksize % group)
     results: dict[SweepKey, RunMetrics] = {}
     with ProcessPoolExecutor(
         max_workers=workers,

@@ -61,6 +61,15 @@ class BandwidthCache:
         #: this horizon, so stale history cannot drag estimates around.
         self.smoothing_horizon = 4.0 * t_thres
         self._entries: dict[tuple[str, str], CacheEntry] = {}
+        #: Content version: bumped on every mutation of ``_entries``.  The
+        #: piggyback layer memoizes encode/decode work against it — any
+        #: two observations of the same version saw identical contents.
+        self._version = 0
+        #: Piggyback memo slots (owned by :mod:`repro.monitor.piggyback`):
+        #: the last encode result as ``(version, budget, payload)`` and the
+        #: last no-op decode as ``(payload, version)``.
+        self._encode_memo: Optional[tuple] = None
+        self._decode_memo: Optional[tuple] = None
         #: Lookup-outcome counters (observability; trivially cheap).
         self.stats = CacheStats()
         #: Optional hook fired whenever a strictly newer measurement is
@@ -95,6 +104,7 @@ class BandwidthCache:
                 + (1.0 - self.smoothing) * existing.bandwidth
             )
         self._entries[key] = CacheEntry(key, bandwidth, now)
+        self._version += 1
         if self.on_new_value is not None:
             self.on_new_value(key, bandwidth, now)
         return True
@@ -108,6 +118,7 @@ class BandwidthCache:
             raise ValueError(f"negative bandwidth {bandwidth!r}")
         key = pair_key(a, b)
         self._entries[key] = CacheEntry(key, bandwidth, now)
+        self._version += 1
         if self.on_new_value is not None:
             self.on_new_value(key, bandwidth, now)
 
@@ -117,6 +128,7 @@ class BandwidthCache:
         if existing is not None and existing.measured_at >= entry.measured_at:
             return False
         self._entries[entry.pair] = entry
+        self._version += 1
         if self.on_new_value is not None:
             self.on_new_value(entry.pair, entry.bandwidth, entry.measured_at)
         return True
@@ -153,4 +165,6 @@ class BandwidthCache:
         victims = [k for k, e in self._entries.items() if e.measured_at < cutoff]
         for key in victims:
             del self._entries[key]
+        if victims:
+            self._version += 1
         return len(victims)

@@ -5,6 +5,14 @@ bandwidth values (those that fit within 1KB) are piggybacked onto the
 message".  Each serialised entry carries a host pair, a bandwidth and a
 timestamp; we charge 24 bytes per entry (two 2-byte host indices hardly
 matter — we round up to named pairs), so 1 KB carries up to 42 entries.
+
+Both directions are memoized against the cache's content version
+(:attr:`~repro.monitor.cache.BandwidthCache._version`): a host sending a
+burst of messages between cache updates encodes its freshest entries once
+and attaches the same (immutable-by-convention) payload to each, and a
+host receiving the same payload twice with no intervening cache change
+skips the merge loop entirely.  Every memo hit is provably a no-op
+replay, so results are bit-identical to the unmemoized code.
 """
 
 from __future__ import annotations
@@ -26,23 +34,59 @@ def encode_piggyback(
 
     Returns ``None`` when the cache is empty (no piggyback overhead is
     charged in that case), otherwise a dict with ``bytes`` (wire overhead)
-    and ``entries``.
+    and ``entries``.  The result is a pure function of the cache contents
+    and the budget, so it is memoized per cache version; consumers must
+    treat the payload as immutable (the transfer engine and decoder do).
     """
+    memo = cache._encode_memo
+    version = cache._version
+    if memo is not None and memo[0] == version and memo[1] == budget:
+        return memo[2]
     if budget < ENTRY_BYTES:
-        return None
-    limit = budget // ENTRY_BYTES
-    entries = cache.freshest(limit)
-    if not entries:
-        return None
-    return {"bytes": len(entries) * ENTRY_BYTES, "entries": list(entries)}
+        payload = None
+    else:
+        limit = budget // ENTRY_BYTES
+        entries = cache.freshest(limit)
+        if not entries:
+            payload = None
+        else:
+            payload = {"bytes": len(entries) * ENTRY_BYTES, "entries": entries}
+    cache._encode_memo = (version, budget, payload)
+    return payload
 
 
 def decode_piggyback(cache: BandwidthCache, piggyback: dict) -> int:
-    """Merge piggybacked entries into ``cache``; returns how many were new."""
+    """Merge piggybacked entries into ``cache``; returns how many were new.
+
+    The merge loop is inlined (newest measurement wins, exactly
+    :meth:`~repro.monitor.cache.BandwidthCache.merge_entry`) and the
+    outcome is memoized: decoding a payload leaves the cache at least as
+    fresh as every entry in it, so decoding the *same* payload again with
+    no intervening cache change merges nothing — that replay is skipped.
+    """
+    memo = cache._decode_memo
+    if (
+        memo is not None
+        and memo[0] is piggyback
+        and memo[1] == cache._version
+    ):
+        return 0
+    entries_map = cache._entries
+    hook = cache.on_new_value
     merged = 0
     for entry in piggyback.get("entries", ()):
-        if not isinstance(entry, CacheEntry):
+        if entry.__class__ is not CacheEntry and not isinstance(
+            entry, CacheEntry
+        ):
             raise TypeError(f"piggyback entry {entry!r} is not a CacheEntry")
-        if cache.merge_entry(entry):
-            merged += 1
+        existing = entries_map.get(entry.pair)
+        if existing is not None and existing.measured_at >= entry.measured_at:
+            continue
+        entries_map[entry.pair] = entry
+        merged += 1
+        if hook is not None:
+            hook(entry.pair, entry.bandwidth, entry.measured_at)
+    if merged:
+        cache._version += 1
+    cache._decode_memo = (piggyback, cache._version)
     return merged

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.traces.trace import BandwidthTrace
+from repro.traces.trace import BandwidthTrace, TraceCursor
 
 #: The paper's per-message startup cost: 50 milliseconds.
 DEFAULT_STARTUP_COST = 0.050
@@ -33,6 +33,13 @@ class Link:
         #: Lifetime traffic counters (fed by the network's transfer engine).
         self.transfers = 0
         self.bytes_carried = 0.0
+        #: Amortized segment cursor for this link's queries.  Simulation
+        #: time is (mostly) monotone per link, so successive transfer-time
+        #: lookups advance this pointer a step or two instead of paying a
+        #: binary search; out-of-order queries fall back transparently.
+        #: Lives on the link — traces are shared read-only across links,
+        #: runs and workers, so they must stay stateless.
+        self._cursor = TraceCursor()
 
     @property
     def key(self) -> tuple[str, str]:
@@ -52,7 +59,7 @@ class Link:
         if nbytes == 0:
             return self.startup_cost
         return self.startup_cost + self.trace.transfer_time(
-            nbytes, start_time + self.startup_cost
+            nbytes, start_time + self.startup_cost, hint=self._cursor
         )
 
     def note_transfer(self, nbytes: float) -> None:

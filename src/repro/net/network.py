@@ -99,7 +99,16 @@ class Network:
         #: per-host active-transfer counts, and a FIFO tie-breaker.
         self._waiting: list[tuple] = []
         self._active_transfers: dict[str, int] = {}
+        #: NIC capacities, cached flat at registration (hosts never change
+        #: capacity after construction) so the dispatch loop's per-entry
+        #: check is two dict lookups instead of four plus attribute hops.
+        self._nic_caps: dict[str, int] = {}
         self._sequence = 0
+        #: True when NIC capacity has been released since the last full
+        #: dispatch scan.  While False, every queued transfer is still
+        #: blocked (capacity only shrinks between scans), so :meth:`send`
+        #: may start/queue its one new message without rescanning the heap.
+        self._scan_needed = False
         #: Monitoring hook: called with each TransferObservation.
         self.observers: list[Callable[[TransferObservation], None]] = []
         #: Optional piggyback source: ``(src_host, dst_host) -> dict`` with
@@ -132,10 +141,11 @@ class Network:
             raise ValueError(f"duplicate host {host.name!r}")
         self.hosts[host.name] = host
         self._active_transfers[host.name] = 0
+        self._nic_caps[host.name] = host.nic_capacity
         return host
 
     def _has_free_interface(self, host: str) -> bool:
-        return self._active_transfers[host] < self.hosts[host].nic_capacity
+        return self._active_transfers[host] < self._nic_caps[host]
 
     def add_link(self, link: Link) -> Link:
         """Register the link between two existing hosts."""
@@ -265,6 +275,36 @@ class Network:
                 **message.trace_fields(),
             )
         self._sequence += 1
+        if not self._scan_needed:
+            # Fast path: no NIC has been released since the last full
+            # scan, so every queued transfer is still blocked and only
+            # *this* message can possibly start.  Starting (or queueing)
+            # it directly is order-identical to the full scan: a queued
+            # higher-priority transfer either shares the endpoint that
+            # blocks this one, or was blocked on endpoints this message
+            # doesn't touch.
+            active = self._active_transfers
+            caps = self._nic_caps
+            if active[src] < caps[src] and active[dst] < caps[dst]:
+                active[src] += 1
+                active[dst] += 1
+                self.env.process(
+                    self._run_transfer(message, src, dst, done),
+                    name=f"xfer#{message.uid}",
+                )
+            else:
+                heappush(
+                    self._waiting,
+                    (
+                        int(message.priority or 0),
+                        self._sequence,
+                        message,
+                        src,
+                        dst,
+                        done,
+                    ),
+                )
+            return done
         heappush(
             self._waiting,
             (int(message.priority or 0), self._sequence, message, src, dst, done),
@@ -273,18 +313,25 @@ class Network:
         return done
 
     def _dispatch_transfers(self) -> None:
-        """Start every waiting transfer whose two endpoints are free."""
+        """Start every waiting transfer whose two endpoints are free.
+
+        This full scan is the arbiter's slow path; it re-arms
+        :meth:`send`'s fast path by clearing ``_scan_needed``.
+        """
+        self._scan_needed = False
         if not self._waiting:
             return
+        active = self._active_transfers
+        caps = self._nic_caps
         blocked: list[tuple] = []
         while self._waiting:
             entry = heappop(self._waiting)
             __, __, message, src, dst, done = entry
-            if not (self._has_free_interface(src) and self._has_free_interface(dst)):
+            if active[src] >= caps[src] or active[dst] >= caps[dst]:
                 blocked.append(entry)
                 continue
-            self._active_transfers[src] += 1
-            self._active_transfers[dst] += 1
+            active[src] += 1
+            active[dst] += 1
             self.env.process(
                 self._run_transfer(message, src, dst, done),
                 name=f"xfer#{message.uid}",
@@ -295,9 +342,10 @@ class Network:
     def _run_transfer(self, message: Message, src: str, dst: str, done):
         link = self.link(src, dst)
         src_node, dst_node = self.hosts[src], self.hosts[dst]
+        wire_size = message.wire_size
         if self._faults is None:
             started = self.env.now
-            duration = link.transmission_time(message.wire_size, started)
+            duration = link.transmission_time(wire_size, started)
             yield self.env.timeout(duration)
         else:
             attempt = yield from self._faulty_attempts(message, link, src, dst, done)
@@ -308,26 +356,29 @@ class Network:
 
         self._active_transfers[src] -= 1
         self._active_transfers[dst] -= 1
+        # Capacity was just released: any send before the trailing full
+        # scan (e.g. a forward out of _deliver) must rescan the queue.
+        self._scan_needed = True
 
         src_node.stats.messages_sent += 1
-        src_node.stats.bytes_sent += message.wire_size
+        src_node.stats.bytes_sent += wire_size
         src_node.stats.nic_busy_time += duration
         dst_node.stats.messages_received += 1
-        dst_node.stats.bytes_received += message.wire_size
+        dst_node.stats.bytes_received += wire_size
         dst_node.stats.nic_busy_time += duration
         self.stats.transfers += 1
-        self.stats.bytes_on_wire += message.wire_size
+        self.stats.bytes_on_wire += wire_size
         query_id = message.query_id
         if query_id is not None:
             query_stats = self.stats_for(query_id)
             query_stats.transfers += 1
-            query_stats.bytes_on_wire += message.wire_size
-        link.note_transfer(message.wire_size)
+            query_stats.bytes_on_wire += wire_size
+        link.note_transfer(wire_size)
 
         observation = TransferObservation(
             src_host=src,
             dst_host=dst,
-            wire_bytes=message.wire_size,
+            wire_bytes=wire_size,
             data_seconds=duration - link.startup_cost,
             started=started,
             finished=finished,
@@ -344,7 +395,7 @@ class Network:
                 src_host=src,
                 dst_host=dst,
                 kind=message.kind.value,
-                wire_bytes=message.wire_size,
+                wire_bytes=wire_size,
                 bandwidth=observation.measured_bandwidth,
                 uid=message.uid,
                 **tag,
@@ -378,6 +429,7 @@ class Network:
         retry = faults.retry
         tracer = self._tracer
         query_id = message.query_id
+        wire_size = message.wire_size
         tag = {} if query_id is None else {"query_id": query_id}
         attempt = 0
         while True:
@@ -386,15 +438,15 @@ class Network:
             reason = faults.link_blocked(src, dst, now)
             if reason is None:
                 started = now
-                duration = link.transmission_time(message.wire_size, started)
+                duration = link.transmission_time(wire_size, started)
                 if not faults.drop_message(src, dst):
                     yield self.env.timeout(duration)
                     return started, duration
                 # Lost in flight: the bytes went on the wire and vanished.
                 # Pay the send time, then back off and retransmit.
-                self.stats.dropped_bytes += message.wire_size
+                self.stats.dropped_bytes += wire_size
                 if query_id is not None:
-                    self.stats_for(query_id).dropped_bytes += message.wire_size
+                    self.stats_for(query_id).dropped_bytes += wire_size
                 if tracer.enabled:
                     tracer.emit(
                         NET_DROP,
@@ -402,7 +454,7 @@ class Network:
                         src_host=src,
                         dst_host=dst,
                         uid=message.uid,
-                        bytes=message.wire_size,
+                        bytes=wire_size,
                         **tag,
                     )
                 reason = "loss"
@@ -426,6 +478,7 @@ class Network:
                     )
                 self._active_transfers[src] -= 1
                 self._active_transfers[dst] -= 1
+                self._scan_needed = True
                 done.defused = True
                 done.fail(
                     TransferAbandoned(

@@ -15,7 +15,7 @@ that straddles a bandwidth change is slowed/accelerated mid-flight exactly
 as it would be on a real path.
 """
 
-from repro.traces.trace import BandwidthTrace, constant_trace
+from repro.traces.trace import BandwidthTrace, TraceCursor, constant_trace
 from repro.traces.synthetic import SyntheticTraceModel, TraceGenParams
 from repro.traces.study import InternetStudy, StudyHost, TraceLibrary
 from repro.traces.stats import TraceStats, change_intervals, trace_stats
@@ -40,6 +40,7 @@ __all__ = [
     "StudyHost",
     "SyntheticTraceModel",
     "TraceGenParams",
+    "TraceCursor",
     "TraceLibrary",
     "TraceStats",
     "change_intervals",

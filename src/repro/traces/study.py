@@ -125,6 +125,13 @@ class TraceLibrary:
         self._sorted_keys: tuple[tuple[str, str], ...] = tuple(
             sorted(self._traces)
         )
+        #: Per-pair noon segments, built once on first use (or eagerly by
+        #: :meth:`warm_noon_segments`).  A noon segment depends only on the
+        #: pair's trace and timezone — both frozen — so every draw of a
+        #: pair returns the *same* immutable segment object, prefix sums
+        #: precomputed and shared read-only across configurations, runs
+        #: and sweep workers.
+        self._noon_segments: dict[tuple[str, str], BandwidthTrace] = {}
 
     def __len__(self) -> int:
         return len(self._traces)
@@ -146,16 +153,63 @@ class TraceLibrary:
         keys = self._sorted_keys
         return self._traces[keys[int(rng.integers(len(keys)))]]
 
+    def sample_many(self, rng: np.random.Generator, n: int) -> list[BandwidthTrace]:
+        """Draw ``n`` traces with one vectorized index draw.
+
+        The PCG64 ``integers`` stream is identical whether drawn one at a
+        time or as a batch (pinned by ``tests/traces/test_study.py``), so
+        this returns exactly what ``n`` successive :meth:`sample` calls
+        would — minus ``n - 1`` generator round-trips.
+        """
+        keys = self._sorted_keys
+        traces = self._traces
+        indices = rng.integers(len(keys), size=n)
+        return [traces[keys[i]] for i in indices]
+
+    def noon_segment_for(self, key: tuple[str, str]) -> BandwidthTrace:
+        """The (cached) noon-rebased segment of one pair's trace."""
+        segment = self._noon_segments.get(key)
+        if segment is None:
+            tz = self.tz_offsets.get(key, 0.0)
+            segment = noon_segment(self._traces[key], tz).ensure_cum()
+            self._noon_segments[key] = segment
+        return segment
+
+    def warm_noon_segments(self) -> "TraceLibrary":
+        """Precompute every pair's noon segment (and its prefix sums).
+
+        Sweep drivers and pool workers call this once so that configuration
+        sampling never builds a segment inside a timed/simulated region;
+        returns ``self`` for chaining.
+        """
+        for key in self._sorted_keys:
+            self.noon_segment_for(key)
+        return self
+
     def sample_noon_segment(self, rng: np.random.Generator) -> BandwidthTrace:
         """Draw one trace and rebase it to start at the path's local noon.
 
         This is how experiment configurations consume the library: "all
-        experiments were run as if they started at noon" (§4).
+        experiments were run as if they started at noon" (§4).  Segments
+        are cached per pair, so repeated draws of one pair return the same
+        immutable object (bit-identical values to rebuilding it).
         """
         keys = self._sorted_keys
-        key = keys[int(rng.integers(len(keys)))]
-        tz = self.tz_offsets.get(key, 0.0)
-        return noon_segment(self._traces[key], tz)
+        return self.noon_segment_for(keys[int(rng.integers(len(keys)))])
+
+    def sample_noon_segments(
+        self, rng: np.random.Generator, n: int
+    ) -> list[BandwidthTrace]:
+        """Draw ``n`` noon segments with one vectorized index draw.
+
+        Exactly equivalent to ``n`` successive :meth:`sample_noon_segment`
+        calls (same rng stream, same cached segment objects); this is the
+        batch entry point :func:`repro.experiments.config.make_configuration`
+        uses to sample a whole network configuration at NumPy speed.
+        """
+        keys = self._sorted_keys
+        indices = rng.integers(len(keys), size=n)
+        return [self.noon_segment_for(keys[i]) for i in indices]
 
 
 class InternetStudy:

@@ -22,6 +22,37 @@ import numpy as np
 #: below anything a mid-1990s WAN path would sustain while still "up".
 MIN_RATE = 1.0
 
+#: Maximum segments a cursor walks forward before falling back to binary
+#: search.  Near-monotone query streams advance a handful of segments per
+#: call; a jump past this many segments is cheaper to locate in O(log n).
+_CURSOR_MAX_ADVANCE = 32
+
+
+class TraceCursor:
+    """A mutable segment-index hint for near-monotone trace queries.
+
+    Consecutive :meth:`BandwidthTrace.transfer_time` queries on one link
+    start at (almost always) non-decreasing times, so the containing
+    segment advances by a few positions per call.  A cursor remembers the
+    last segment index; the trace resumes the search there with an
+    amortized-O(1) pointer advance instead of an O(log n) ``searchsorted``,
+    falling back to binary search for out-of-order or far-jumping queries.
+
+    Cursors are an *optimization hint only*: results are bit-identical
+    with or without one (pinned by ``tests/traces/test_cursor.py``).  They
+    live on the mutable query-side object (e.g. :class:`repro.net.link.
+    Link`), never on the trace itself — traces stay immutable and safely
+    shared across links, runs and sweep workers.
+    """
+
+    __slots__ = ("index",)
+
+    def __init__(self, index: int = 0) -> None:
+        self.index = index
+
+    def __repr__(self) -> str:
+        return f"TraceCursor(index={self.index})"
+
 
 class BandwidthTrace:
     """An immutable step-function of available bandwidth over time.
@@ -88,11 +119,9 @@ class BandwidthTrace:
         """``end - start``."""
         return self.end - self.start
 
-    def rate_at(self, t: float) -> float:
+    def rate_at(self, t: float, hint: "TraceCursor | None" = None) -> float:
         """Instantaneous bandwidth (bytes/s) at time ``t``."""
-        index = int(np.searchsorted(self.times, t, side="right")) - 1
-        index = min(max(index, 0), len(self) - 1)
-        return float(self.rates[index])
+        return float(self.rates[self._locate(t, hint)])
 
     def mean_rate(self, t0: float | None = None, t1: float | None = None) -> float:
         """Time-weighted mean bandwidth over ``[t0, t1]`` (default: whole trace)."""
@@ -104,6 +133,10 @@ class BandwidthTrace:
             return self.rate_at(t0)
         return self.bytes_between(t0, t1) / (t1 - t0)
 
+    def cursor(self) -> TraceCursor:
+        """A fresh :class:`TraceCursor` for near-monotone queries."""
+        return TraceCursor()
+
     # -- integration --------------------------------------------------------
     def _cum(self) -> np.ndarray:
         if self._cumbytes is None:
@@ -113,6 +146,50 @@ class BandwidthTrace:
                 deltas = np.diff(self.times) * self.rates[:-1]
                 self._cumbytes = np.concatenate(([0.0], np.cumsum(deltas)))
         return self._cumbytes
+
+    def ensure_cum(self) -> "BandwidthTrace":
+        """Eagerly compute the cumulative-bytes prefix sum; returns ``self``.
+
+        The prefix sum is computed exactly once and shared read-only by
+        every consumer of the trace (links, runs, sweep workers), so batch
+        pipelines prime it up front instead of paying the lazy computation
+        inside the first simulated transfer.  Values are identical either
+        way — this only moves *when* the array is built.
+        """
+        self._cum()
+        return self
+
+    def _locate(self, t0: float, hint: TraceCursor | None = None) -> int:
+        """Index ``i`` with ``times[i] <= t0 < times[i+1]``, clamped to
+        ``[0, len-1]`` — exactly ``searchsorted(times, t0, 'right') - 1``.
+
+        With a ``hint`` the search resumes from the cursor's last index
+        and walks forward (amortized O(1) for near-monotone query times);
+        out-of-order queries and jumps past :data:`_CURSOR_MAX_ADVANCE`
+        segments fall back to binary search.  The hint is updated to the
+        returned index either way.
+        """
+        times = self.times
+        last = times.size - 1
+        if hint is not None:
+            index = hint.index
+            if 0 <= index <= last and times[index] <= t0:
+                steps = 0
+                advanced = True
+                while index < last and times[index + 1] <= t0:
+                    index += 1
+                    steps += 1
+                    if steps > _CURSOR_MAX_ADVANCE:
+                        advanced = False
+                        break
+                if advanced:
+                    hint.index = index
+                    return index
+        index = int(np.searchsorted(times, t0, side="right")) - 1
+        index = 0 if index < 0 else (last if index > last else index)
+        if hint is not None:
+            hint.index = index
+        return index
 
     def bytes_between(self, t0: float, t1: float) -> float:
         """Bytes deliverable between ``t0`` and ``t1`` at the trace's rates.
@@ -137,11 +214,12 @@ class BandwidthTrace:
     def _bytes_inside(self, t: float) -> float:
         """Cumulative bytes from ``start`` to ``t`` for start <= t <= end."""
         cum = self._cum()
-        index = int(np.searchsorted(self.times, t, side="right")) - 1
-        index = min(max(index, 0), len(self) - 1)
+        index = self._locate(t)
         return float(cum[index] + (t - self.times[index]) * self.rates[index])
 
-    def transfer_time(self, nbytes: float, t0: float) -> float:
+    def transfer_time(
+        self, nbytes: float, t0: float, hint: "TraceCursor | None" = None
+    ) -> float:
         """Seconds to move ``nbytes`` starting at time ``t0``.
 
         The transfer consumes the step function's instantaneous rate; a
@@ -155,6 +233,11 @@ class BandwidthTrace:
         O(log n) rather than a Python-level walk over every straddled
         segment (:meth:`_transfer_time_scan` keeps the old walk as the
         reference implementation).
+
+        ``hint`` (a :class:`TraceCursor`, typically owned by a
+        :class:`repro.net.link.Link`) amortizes the *starting-segment*
+        lookup to O(1) across a near-monotone stream of query times; the
+        result is bit-identical with or without it.
         """
         if nbytes < 0:
             raise ValueError(f"negative transfer size {nbytes!r}")
@@ -165,6 +248,8 @@ class BandwidthTrace:
         last = len(self) - 1
 
         if t0 >= self.end:
+            if hint is not None:
+                hint.index = last
             return nbytes / float(rates[last])
         remaining = float(nbytes)
         elapsed = 0.0
@@ -176,9 +261,10 @@ class BandwidthTrace:
             elapsed = self.start - t0
             cursor = self.start
             index = 0
+            if hint is not None:
+                hint.index = 0
         else:
-            index = int(np.searchsorted(times, t0, side="right")) - 1
-            index = min(max(index, 0), last)
+            index = self._locate(t0, hint)
             cursor = t0
         if index == last:
             return elapsed + remaining / float(rates[last])

@@ -1,0 +1,136 @@
+"""The send() fast path must be order-identical to always-full-scanning.
+
+``Network.send`` skips the heap rescan when no NIC capacity has been
+released since the last full dispatch (``_scan_needed`` clear).  Forcing
+the flag permanently on makes every send take the slow full-scan path;
+whole simulations run both ways must produce identical metrics and obs
+event streams.
+"""
+
+import json
+import hashlib
+
+import pytest
+
+import repro.net.network as network_module
+from repro.engine.config import Algorithm
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_configuration
+from repro.faults import reference_chaos_plan
+from repro.obs import Tracer
+
+
+@pytest.fixture
+def force_full_scans(monkeypatch):
+    """Disable the fast path: every send sees _scan_needed=True."""
+    original = network_module.Network.send
+
+    def slow_send(self, message, src_host=None, dst_host=None):
+        self._scan_needed = True
+        return original(self, message, src_host=src_host, dst_host=dst_host)
+
+    monkeypatch.setattr(network_module.Network, "send", slow_send)
+
+
+def _fingerprint(setup, algorithm):
+    tracer = Tracer()
+    metrics = run_configuration(setup, 0, algorithm, tracer=tracer)
+    uids = sorted({e["uid"] for e in tracer.events if "uid" in e})
+    rank = {uid: i for i, uid in enumerate(uids)}
+    events = [
+        {**e, "uid": rank[e["uid"]]} if "uid" in e else e
+        for e in tracer.events
+    ]
+    blob = json.dumps(events, sort_keys=True)
+    return (
+        dict(metrics.summary()),
+        list(metrics.arrival_times),
+        len(events),
+        hashlib.sha256(blob.encode()).hexdigest(),
+    )
+
+
+SETUP = ExperimentConfig(num_servers=4, images_per_server=12)
+
+
+#: Fast-path fingerprints, computed unpatched before the slow-path runs.
+_FAST_RESULTS = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _capture_fast_results():
+    for algorithm in (Algorithm.DOWNLOAD_ALL, Algorithm.GLOBAL):
+        _FAST_RESULTS[algorithm] = _fingerprint(SETUP, algorithm)
+    yield
+    _FAST_RESULTS.clear()
+
+
+@pytest.mark.parametrize(
+    "algorithm",
+    [Algorithm.DOWNLOAD_ALL, Algorithm.GLOBAL],
+    ids=lambda a: a.value,
+)
+class TestFastPathEquivalence:
+    def test_run_identical_with_and_without_fast_path(
+        self, algorithm, force_full_scans
+    ):
+        slow = _fingerprint(SETUP, algorithm)
+        assert slow == _FAST_RESULTS[algorithm]
+
+    def test_faulted_run_identical(self, algorithm, force_full_scans):
+        hosts = (*SETUP.server_hosts, SETUP.client_host)
+        faulted = ExperimentConfig(
+            num_servers=4,
+            images_per_server=12,
+            fault_plan=reference_chaos_plan(hosts, seed=1),
+        )
+        slow = _fingerprint(faulted, algorithm)
+        assert slow == _FAULTED_FAST[algorithm]
+
+
+_FAULTED_FAST = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _capture_faulted_fast():
+    hosts = (*SETUP.server_hosts, SETUP.client_host)
+    faulted = ExperimentConfig(
+        num_servers=4,
+        images_per_server=12,
+        fault_plan=reference_chaos_plan(hosts, seed=1),
+    )
+    for algorithm in (Algorithm.DOWNLOAD_ALL, Algorithm.GLOBAL):
+        _FAULTED_FAST[algorithm] = _fingerprint(faulted, algorithm)
+    yield
+    _FAULTED_FAST.clear()
+
+
+class TestFlagBookkeeping:
+    def test_flag_clear_after_full_scan(self):
+        from repro.net.host import Host
+        from repro.net.link import Link
+        from repro.net.message import Message, MessageKind
+        from repro.net.network import Network
+        from repro.sim import Environment
+        from repro.traces import constant_trace
+
+        env = Environment()
+        net = Network(env)
+        for name in ("a", "b"):
+            net.add_host(Host(env, name, nic_capacity=1))
+        net.add_link(Link("a", "b", constant_trace(1000.0), startup_cost=0.0))
+        net.register_actor("@a", "a")
+        net.register_actor("@b", "b")
+
+        assert net._scan_needed is False
+        message = Message(MessageKind.DATA, "@a", "@b", 744)
+        net.send(message, src_host="a", dst_host="b")
+        # Fast path started the transfer directly; nothing queued.
+        assert net._waiting == []
+        assert net._active_transfers == {"a": 1, "b": 1}
+        env.run()
+        # Completion released NICs and ran the trailing full scan.
+        assert net._scan_needed is False
+        assert net._active_transfers == {"a": 0, "b": 0}
+        # 744 payload + 256 header bytes = 1000 wire bytes at 1000 B/s.
+        assert message.delivered_at == pytest.approx(1.0)

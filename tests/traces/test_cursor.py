@@ -1,0 +1,107 @@
+"""TraceCursor: amortized locate hints must never change results.
+
+The cursor is a pure optimization: ``transfer_time``/``rate_at`` with a
+hint must be bit-identical to the hint-free (plain ``searchsorted``) path
+for *any* query order — monotone streams (the fast path), out-of-order
+streams (the fallback), and adversarial jumps past the walk limit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.traces.trace import (
+    _CURSOR_MAX_ADVANCE,
+    BandwidthTrace,
+    TraceCursor,
+)
+
+
+def _step_trace(n_segments: int = 400, seed: int = 0) -> BandwidthTrace:
+    rng = np.random.default_rng(seed)
+    times = np.cumsum(rng.uniform(5.0, 60.0, size=n_segments))
+    rates = rng.uniform(1e3, 1e5, size=n_segments)
+    return BandwidthTrace(times, rates, name="cursor-test")
+
+
+class TestCursorIdentity:
+    def test_monotone_stream_bit_identical(self):
+        trace = _step_trace()
+        cursor = trace.cursor()
+        rng = np.random.default_rng(1)
+        t = trace.start
+        for _ in range(500):
+            t += float(rng.uniform(0.0, 90.0))
+            nbytes = float(rng.uniform(1e3, 1e7))
+            assert trace.transfer_time(nbytes, t, hint=cursor) == (
+                trace.transfer_time(nbytes, t)
+            )
+            assert trace.rate_at(t, hint=cursor) == trace.rate_at(t)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_query_order_bit_identical(self, seed):
+        """Property-style: arbitrary (out-of-order) query times against a
+        shared cursor agree exactly with the searchsorted reference."""
+        trace = _step_trace(seed=seed)
+        cursor = trace.cursor()
+        rng = np.random.default_rng(100 + seed)
+        times = rng.uniform(
+            trace.start - 50.0, trace.end + 50.0, size=300
+        )
+        sizes = rng.uniform(1.0, 1e8, size=300)
+        for t, nbytes in zip(times, sizes):
+            with_hint = trace.transfer_time(float(nbytes), float(t), hint=cursor)
+            without = trace.transfer_time(float(nbytes), float(t))
+            assert with_hint == without
+
+    def test_jump_past_walk_limit_falls_back(self):
+        """A forward jump of more than _CURSOR_MAX_ADVANCE segments takes
+        the binary-search fallback and still lands on the right segment."""
+        trace = _step_trace()
+        cursor = trace.cursor()
+        t_early = float(trace.times[1]) + 0.5
+        trace.rate_at(t_early, hint=cursor)
+        far = _CURSOR_MAX_ADVANCE + 50
+        t_far = float(trace.times[far]) + 0.5
+        assert trace.rate_at(t_far, hint=cursor) == trace.rate_at(t_far)
+        assert cursor.index == far
+
+    def test_backward_query_resets_cursor(self):
+        trace = _step_trace()
+        cursor = trace.cursor()
+        t_late = float(trace.times[200]) + 0.5
+        trace.rate_at(t_late, hint=cursor)
+        assert cursor.index == 200
+        t_early = float(trace.times[3]) + 0.5
+        assert trace.rate_at(t_early, hint=cursor) == trace.rate_at(t_early)
+        assert cursor.index == 3
+
+    def test_before_start_and_after_end(self):
+        trace = _step_trace()
+        cursor = trace.cursor()
+        before = trace.start - 100.0
+        assert trace.transfer_time(1e4, before, hint=cursor) == (
+            trace.transfer_time(1e4, before)
+        )
+        after = trace.end + 100.0
+        assert trace.transfer_time(1e4, after, hint=cursor) == (
+            trace.transfer_time(1e4, after)
+        )
+
+    def test_shared_trace_distinct_cursors(self):
+        """Two query streams on one (shared, immutable) trace each keep
+        their own cursor without interfering."""
+        trace = _step_trace()
+        c1, c2 = trace.cursor(), trace.cursor()
+        rng = np.random.default_rng(7)
+        t1 = t2 = trace.start
+        for _ in range(200):
+            t1 += float(rng.uniform(0.0, 40.0))
+            t2 += float(rng.uniform(0.0, 400.0))
+            assert trace.rate_at(t1, hint=c1) == trace.rate_at(t1)
+            assert trace.rate_at(t2, hint=c2) == trace.rate_at(t2)
+
+    def test_cursor_factory_and_repr(self):
+        cursor = _step_trace().cursor()
+        assert isinstance(cursor, TraceCursor)
+        assert cursor.index == 0
+        assert "TraceCursor" in repr(cursor)

@@ -1,0 +1,63 @@
+"""BandwidthTrace pickling across the lazy/eager prefix-sum states.
+
+Sweep workers receive traces through pickles (an injected library rides
+the pool initializer), so a trace must round-trip both before its
+``_cumbytes`` prefix sums exist and after ``ensure_cum`` populated them —
+and the eager and lazy forms must answer every query bit-identically.
+"""
+
+import pickle
+
+import numpy as np
+
+from repro.traces.trace import BandwidthTrace
+
+
+def _trace(seed: int = 0) -> BandwidthTrace:
+    rng = np.random.default_rng(seed)
+    times = np.cumsum(rng.uniform(5.0, 60.0, size=200))
+    rates = rng.uniform(1e3, 1e5, size=200)
+    return BandwidthTrace(times, rates, name="pickle-test")
+
+
+class TestTracePickle:
+    def test_roundtrip_lazy(self):
+        trace = _trace()
+        assert trace._cumbytes is None
+        clone = pickle.loads(pickle.dumps(trace))
+        assert clone._cumbytes is None
+        assert np.array_equal(clone.times, trace.times)
+        assert np.array_equal(clone.rates, trace.rates)
+        assert clone.name == trace.name
+
+    def test_roundtrip_eager(self):
+        trace = _trace().ensure_cum()
+        assert trace._cumbytes is not None
+        clone = pickle.loads(pickle.dumps(trace))
+        assert clone._cumbytes is not None
+        assert np.array_equal(clone._cumbytes, trace._cumbytes)
+
+    def test_eager_and_lazy_clones_bit_identical(self):
+        lazy = pickle.loads(pickle.dumps(_trace()))
+        eager = pickle.loads(pickle.dumps(_trace().ensure_cum()))
+        rng = np.random.default_rng(1)
+        starts = rng.uniform(lazy.start - 10.0, lazy.end + 10.0, size=200)
+        sizes = rng.uniform(1.0, 1e8, size=200)
+        for t, nbytes in zip(starts, sizes):
+            assert lazy.transfer_time(float(nbytes), float(t)) == (
+                eager.transfer_time(float(nbytes), float(t))
+            )
+            assert lazy.rate_at(float(t)) == eager.rate_at(float(t))
+
+    def test_lazy_clone_computes_cum_on_demand(self):
+        clone = pickle.loads(pickle.dumps(_trace()))
+        reference = _trace()
+        t0 = float(clone.times[3]) + 1.0
+        assert clone.transfer_time(5e6, t0) == reference.transfer_time(5e6, t0)
+        assert clone._cumbytes is not None
+
+    def test_ensure_cum_idempotent_and_chainable(self):
+        trace = _trace()
+        assert trace.ensure_cum() is trace
+        first = trace._cumbytes
+        assert trace.ensure_cum()._cumbytes is first
