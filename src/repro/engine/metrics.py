@@ -68,6 +68,16 @@ class RunMetrics:
     host_downtime_seconds: float = 0.0
     probe_timeouts: int = 0
     planner_fallbacks: int = 0
+    #: Kernel accounting (diagnostic only — deliberately excluded from
+    #: :meth:`summary` so the golden fingerprints stay invariant under
+    #: kernel-scheduling changes; a forced-slow-path run differs from a
+    #: fast-path run on exactly these fields and nothing else).
+    #: Calendar events the kernel processed over the whole run.
+    kernel_events: int = 0
+    #: Transfers completed via the fluid (single-callback) fast path.
+    fluid_transfers: int = 0
+    #: Transfers completed via the full DES process path.
+    des_transfers: int = 0
 
     @property
     def completion_time(self) -> float:

@@ -195,7 +195,9 @@ class Runtime:
             priority=priority,
             query_id=self.query_id,
         )
-        self.network.send(message, src_host=src_host, dst_host=dst_host)
+        # Fire-and-forget: nothing ever waits on these deliveries, so
+        # post() skips the delivery event entirely.
+        self.network.post(message, src_host=src_host, dst_host=dst_host)
         return message
 
     def ingest_vectors(self, message: Message, receiver_host: str) -> None:
@@ -485,6 +487,8 @@ class Runtime:
         metrics.forwarded_messages = net_stats.forwarded
         metrics.bytes_on_wire = net_stats.bytes_on_wire
         metrics.transfers = net_stats.transfers
+        metrics.fluid_transfers = net_stats.fluid_transfers
+        metrics.des_transfers = net_stats.des_transfers
         metrics.local_deliveries = net_stats.local_deliveries
         metrics.passive_measurements = mon_stats.passive_measurements
         metrics.piggyback_entries_merged = mon_stats.piggyback_entries_merged

@@ -172,15 +172,16 @@ def build_simulation(
     if tracer.enabled:
         env.trace_hook = tracer.kernel_hook
     network = Network(env, tracer=tracer)
+    network.fluid_fast_path = spec.fluid_fast_path
     for host_name in spec.all_hosts:
-        network.add_host(
-            Host(
-                env,
-                host_name,
-                disk_rate=spec.disk_rate,
-                nic_capacity=spec.nic_capacity,
-            )
+        host = Host(
+            env,
+            host_name,
+            disk_rate=spec.disk_rate,
+            nic_capacity=spec.nic_capacity,
         )
+        host.fluid_facilities = spec.fluid_fast_path
+        network.add_host(host)
     hosts = list(spec.all_hosts)
     for i, a in enumerate(hosts):
         for b in hosts[i + 1 :]:
@@ -271,6 +272,7 @@ def run_simulation(spec: SimulationSpec, tracer=None) -> RunMetrics:
     stop = env.any_of([runtime.done, env.timeout(spec.max_sim_time)])
     env.run(until=stop)
     metrics = runtime.finalize_metrics(truncated=not runtime.finished)
+    metrics.kernel_events = env.events_processed
     if tracer.enabled:
         tracer.emit(
             RUN_END,

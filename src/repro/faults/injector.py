@@ -102,6 +102,46 @@ class FaultInjector:
                 return "outage"
         return None
 
+    def has_loss(self, a: str, b: str) -> bool:
+        """True if the pair carries a seeded loss stream.
+
+        Transfers on lossy pairs must run the full DES attempt loop even
+        when no drop would occur: every attempt consumes one draw from
+        the pair's RNG stream, and skipping draws would shift all later
+        loss decisions.  The fluid fast path therefore declines them.
+        """
+        pair = (a, b) if a < b else (b, a)
+        return bool(self._loss.get(pair))
+
+    def next_boundary(
+        self,
+        link: tuple[str, str],
+        hosts,
+        t0: float,
+        t1: float,
+    ) -> Optional[float]:
+        """Earliest fault-window boundary strictly inside ``(t0, t1)``.
+
+        ``link`` is a canonical host-pair key whose outage windows are
+        scanned; ``hosts`` are host names whose crash windows are
+        scanned.  Returns None when the interval contains no boundary —
+        together with :meth:`link_blocked` at ``t0`` and
+        :meth:`has_loss` this is the admission test for the fluid
+        transfer fast path: a boundary-free window is guaranteed to play
+        out exactly like a single uninterrupted DES attempt.
+        """
+        best: Optional[float] = None
+        for start, end in self._outages.get(link, ()):
+            for t in (start, end):
+                if t0 < t < t1 and (best is None or t < best):
+                    best = t
+        for host in hosts:
+            for start, end in self._crashes.get(host, ()):
+                for t in (start, end):
+                    if t0 < t < t1 and (best is None or t < best):
+                        best = t
+        return best
+
     def drop_message(self, a: str, b: str) -> bool:
         """Draw from the pair's loss stream: is this attempt lost?"""
         pair = (a, b) if a < b else (b, a)

@@ -95,6 +95,11 @@ class Host:
         self.cpu = Resource(env, capacity=1)
         self.disk_rate = disk_rate
         self.stats = HostStats()
+        #: Fluid facility fast path: hold an uncontended disk/CPU through
+        #: a single timeout event instead of the request-grant/timeout
+        #: pair (see :meth:`_use`).  Engines force this off together with
+        #: the network's transfer fast path for full-DES reference runs.
+        self.fluid_facilities = True
         self._mailboxes: dict[str, Mailbox] = {}
 
     # -- mailboxes ------------------------------------------------------------
@@ -112,21 +117,38 @@ class Host:
         return box.drain() if box is not None else []
 
     # -- local facilities -------------------------------------------------------
+    def _use(self, resource: Resource, seconds: float):
+        """Generator: occupy one slot of ``resource`` for ``seconds``.
+
+        When a slot is free, claim it synchronously
+        (:meth:`~repro.sim.resources.Resource.try_acquire`) and sleep
+        through a single timeout — the facility analogue of the
+        network's fluid transfer fast path.  A contended facility (or
+        ``fluid_facilities`` off) runs the classic request-grant then
+        timeout sequence; occupancy intervals are identical either way.
+        """
+        hold = resource.try_acquire() if self.fluid_facilities else None
+        if hold is None:
+            with resource.request() as req:
+                yield req
+                yield self.env.timeout(seconds)
+            return
+        try:
+            yield self.env.timeout(seconds)
+        finally:
+            resource.release(hold)
+
     def disk_read(self, nbytes: float):
         """Process generator: read ``nbytes`` from the local disk."""
         if nbytes < 0:
             raise ValueError(f"negative read size {nbytes!r}")
-        with self.disk.request() as req:
-            yield req
-            yield self.env.timeout(nbytes / self.disk_rate)
+        yield from self._use(self.disk, nbytes / self.disk_rate)
 
     def compute(self, seconds: float):
         """Process generator: occupy the CPU for ``seconds``."""
         if seconds < 0:
             raise ValueError(f"negative compute time {seconds!r}")
-        with self.cpu.request() as req:
-            yield req
-            yield self.env.timeout(seconds)
+        yield from self._use(self.cpu, seconds)
 
     def __repr__(self) -> str:
         return f"<Host {self.name!r}>"

@@ -68,7 +68,14 @@ class Link:
         self.bytes_carried += nbytes
 
     def bandwidth_at(self, t: float) -> float:
-        """Instantaneous link bandwidth (bytes/s) at time ``t``."""
+        """Instantaneous link bandwidth (bytes/s) at time ``t``.
+
+        ``t`` must be non-negative: traces start at time zero, and a
+        negative query silently read the first segment's rate instead of
+        flagging the caller's clock bug.
+        """
+        if t < 0:
+            raise ValueError(f"negative time {t!r}")
         return self.trace.rate_at(t)
 
     def __repr__(self) -> str:

@@ -40,7 +40,7 @@ from repro.obs.events import (
     NET_RETRANSMIT,
 )
 from repro.obs.tracer import ensure_tracer
-from repro.sim import Environment, Event
+from repro.sim import URGENT, Environment, Event
 
 
 @dataclass(frozen=True)
@@ -79,6 +79,11 @@ class NetworkStats:
     retransmissions: int = 0
     dropped_bytes: float = 0.0
     abandoned_messages: int = 0
+    #: How each completed transfer was simulated: collapsed analytically
+    #: into one completion event (fluid) or stepped through the full DES
+    #: process path.  ``fluid_transfers + des_transfers == transfers``.
+    fluid_transfers: int = 0
+    des_transfers: int = 0
 
 
 class Network:
@@ -122,6 +127,14 @@ class Network:
         #: Fault injector (see :meth:`install_faults`).  None (the
         #: default) keeps transfers on the exact unfaulted code path.
         self._faults = None
+        #: Fluid fast path (see :meth:`_start_transfer`): admitted
+        #: transfers whose window contains no fault boundary complete
+        #: via one analytically-scheduled callback event instead of a
+        #: generator process.  False forces every transfer through the
+        #: full DES path — results are bit-identical either way (pinned
+        #: by the equivalence suite); the toggle exists for those tests
+        #: and for benchmarking the collapse.
+        self.fluid_fast_path = True
 
     def install_faults(self, injector) -> None:
         """Route transfers through ``injector``'s outage/loss/retry model."""
@@ -171,12 +184,18 @@ class Network:
 
     def bandwidth_at(self, a: str, b: str, t: float) -> float:
         """True instantaneous bandwidth between two hosts (oracle access)."""
+        if t < 0:
+            raise ValueError(f"negative time {t!r}")
         if a == b:
             return float("inf")
         return self.link(a, b).bandwidth_at(t)
 
     def mean_bandwidth(self, a: str, b: str, t0: float, t1: float) -> float:
         """True time-averaged bandwidth over ``[t0, t1]`` (oracle access)."""
+        if t0 < 0:
+            raise ValueError(f"negative window start {t0!r}")
+        if t1 < t0:
+            raise ValueError(f"window end {t1!r} precedes start {t0!r}")
         if a == b:
             return float("inf")
         return self.link(a, b).trace.mean_rate(t0, t1)
@@ -239,13 +258,43 @@ class Network:
         enqueued data) and is trivially deadlock-free — a transfer never
         holds one interface while waiting for the other.
         """
+        return self._send(message, src_host, dst_host, self.env.event())
+
+    def post(
+        self,
+        message: Message,
+        src_host: Optional[str] = None,
+        dst_host: Optional[str] = None,
+    ) -> None:
+        """Fire-and-forget :meth:`send`: no delivery event is created.
+
+        Most traffic (data, demands, barriers) never waits on delivery —
+        the sender continues immediately and the ``done`` event fires
+        with zero callbacks, a pure-waste calendar entry.  Posting skips
+        it.  Eliding a no-op event cannot reorder anything: remaining
+        calendar entries keep their relative order, and processing the
+        elided event ran no callbacks.  With the fast path disabled this
+        degrades to a plain send so full-DES reference runs reproduce
+        the classic event schedule exactly.
+        """
+        if not self.fluid_fast_path:
+            self.send(message, src_host, dst_host)
+            return
+        self._send(message, src_host, dst_host, None)
+
+    def _send(
+        self,
+        message: Message,
+        src_host: Optional[str],
+        dst_host: Optional[str],
+        done: "Optional[Event]",
+    ) -> "Optional[Event]":
         src = src_host or self.actor_host(message.src_actor)
         dst = dst_host or self.actor_host(message.dst_actor)
         if src not in self.hosts or dst not in self.hosts:
             raise ValueError(f"unknown endpoint in {src!r}->{dst!r}")
         message.src_host, message.dst_host = src, dst
         message.sent_at = self.env.now
-        done = self.env.event()
 
         tracer = self._tracer
         if src == dst:
@@ -261,7 +310,8 @@ class Network:
                 )
             message.delivered_at = self.env.now
             self._deliver(message, dst)
-            done.succeed(message)
+            if done is not None:
+                done.succeed(message)
             return done
 
         if self.piggyback_source is not None and message.piggyback is None:
@@ -288,10 +338,7 @@ class Network:
             if active[src] < caps[src] and active[dst] < caps[dst]:
                 active[src] += 1
                 active[dst] += 1
-                self.env.process(
-                    self._run_transfer(message, src, dst, done),
-                    name=f"xfer#{message.uid}",
-                )
+                self._start_transfer(message, src, dst, done)
             else:
                 heappush(
                     self._waiting,
@@ -332,16 +379,77 @@ class Network:
                 continue
             active[src] += 1
             active[dst] += 1
-            self.env.process(
-                self._run_transfer(message, src, dst, done),
-                name=f"xfer#{message.uid}",
-            )
+            self._start_transfer(message, src, dst, done)
         for entry in blocked:
             heappush(self._waiting, entry)
 
+    def _start_transfer(self, message: Message, src: str, dst: str, done) -> None:
+        """Launch an admitted transfer (both endpoint NICs already held).
+
+        The fluid fast path: the paper's core quantity — time to push N
+        bytes over a time-varying link — is computable analytically from
+        the trace's prefix sums, so an uncontended, fault-free transfer
+        needs no generator machinery.  When no fault boundary can touch
+        the window ``[now, now + duration)`` (trivially true without an
+        injector; otherwise checked via
+        :meth:`~repro.faults.injector.FaultInjector.next_boundary`, a
+        clean start and no loss stream), completion is **one**
+        lightweight callback event instead of a process's init event,
+        timeout and process-completion event.  Any arbiter-grant, fault
+        or loss condition falls back to the full DES path unchanged.
+        """
+        env = self.env
+        if self.fluid_fast_path:
+            faults = self._faults
+            if faults is None:
+                link = self.link(src, dst)
+                started = env.now
+                duration = link.transmission_time(message.wire_size, started)
+                env.schedule_callback(
+                    duration,
+                    lambda: self._finish_transfer(
+                        message, src, dst, done, link, started, duration,
+                        fluid=True,
+                    ),
+                )
+                return
+            started = env.now
+            if (
+                faults.link_blocked(src, dst, started) is None
+                and not faults.has_loss(src, dst)
+            ):
+                link = self.link(src, dst)
+                duration = link.transmission_time(message.wire_size, started)
+                boundary = faults.next_boundary(
+                    link.key, (src, dst), started, started + duration
+                )
+                if boundary is None:
+                    # Faulted runs mix fluid and DES transfers.  Routing
+                    # the completion through an URGENT launch callback —
+                    # scheduled exactly where the DES path schedules its
+                    # process-init event — gives the completion the same
+                    # calendar sequence number the DES Timeout would get,
+                    # so same-instant completions of mixed fluid/DES
+                    # transfers interleave exactly as before.
+                    def _launch():
+                        env.schedule_callback(
+                            duration,
+                            lambda: self._finish_transfer(
+                                message, src, dst, done, link, started,
+                                duration, fluid=True,
+                            ),
+                        )
+
+                    env.schedule_callback(0.0, _launch, priority=URGENT)
+                    return
+        env.process(
+            self._run_transfer(message, src, dst, done),
+            name=f"xfer#{message.uid}",
+        )
+
     def _run_transfer(self, message: Message, src: str, dst: str, done):
+        """The full DES transfer path (process generator)."""
         link = self.link(src, dst)
-        src_node, dst_node = self.hosts[src], self.hosts[dst]
         wire_size = message.wire_size
         if self._faults is None:
             started = self.env.now
@@ -352,6 +460,28 @@ class Network:
             if attempt is None:
                 return  # abandoned: NICs released, done failed (defused)
             started, duration = attempt
+        self._finish_transfer(
+            message, src, dst, done, link, started, duration, fluid=False
+        )
+
+    def _finish_transfer(
+        self,
+        message: Message,
+        src: str,
+        dst: str,
+        done,
+        link: Link,
+        started: float,
+        duration: float,
+        fluid: bool,
+    ) -> None:
+        """Complete an in-flight transfer: the post-wire half of the
+        transfer engine, shared verbatim by the DES generator and the
+        fluid fast path so the two stay bookkeeping-identical — stats,
+        tracer span, observers, piggyback, delivery, ``done``, then the
+        arbiter rescan, in exactly that order.
+        """
+        wire_size = message.wire_size
         finished = self.env.now
 
         self._active_transfers[src] -= 1
@@ -360,6 +490,7 @@ class Network:
         # scan (e.g. a forward out of _deliver) must rescan the queue.
         self._scan_needed = True
 
+        src_node, dst_node = self.hosts[src], self.hosts[dst]
         src_node.stats.messages_sent += 1
         src_node.stats.bytes_sent += wire_size
         src_node.stats.nic_busy_time += duration
@@ -368,11 +499,19 @@ class Network:
         dst_node.stats.nic_busy_time += duration
         self.stats.transfers += 1
         self.stats.bytes_on_wire += wire_size
+        if fluid:
+            self.stats.fluid_transfers += 1
+        else:
+            self.stats.des_transfers += 1
         query_id = message.query_id
         if query_id is not None:
             query_stats = self.stats_for(query_id)
             query_stats.transfers += 1
             query_stats.bytes_on_wire += wire_size
+            if fluid:
+                query_stats.fluid_transfers += 1
+            else:
+                query_stats.des_transfers += 1
         link.note_transfer(wire_size)
 
         observation = TransferObservation(
@@ -409,7 +548,8 @@ class Network:
 
         message.delivered_at = self.env.now
         self._deliver(message, dst)
-        done.succeed(message)
+        if done is not None:
+            done.succeed(message)
         self._dispatch_transfers()
 
     def _faulty_attempts(self, message: Message, link: Link, src: str, dst: str, done):
@@ -479,13 +619,14 @@ class Network:
                 self._active_transfers[src] -= 1
                 self._active_transfers[dst] -= 1
                 self._scan_needed = True
-                done.defused = True
-                done.fail(
-                    TransferAbandoned(
-                        f"message #{message.uid} {src}->{dst} abandoned "
-                        f"after {attempt} attempts ({reason})"
+                if done is not None:
+                    done.defused = True
+                    done.fail(
+                        TransferAbandoned(
+                            f"message #{message.uid} {src}->{dst} abandoned "
+                            f"after {attempt} attempts ({reason})"
+                        )
                     )
-                )
                 self._dispatch_transfers()
                 return None
             self.stats.retransmissions += 1

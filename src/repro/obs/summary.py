@@ -184,6 +184,9 @@ class TraceSummary:
     host_downtime_seconds: float = 0.0
     #: (time, event_type, detail) fault timeline in order.
     fault_timeline: list[tuple[float, str, str]] = field(default_factory=list)
+    #: Trace record type -> count over the whole stream (header/footer
+    #: excluded).  What the run actually spent its events on.
+    event_histogram: dict[str, int] = field(default_factory=dict)
 
     @property
     def barrier_stall_seconds(self) -> float:
@@ -193,8 +196,11 @@ class TraceSummary:
 def summarize_records(records: Iterable[dict[str, Any]]) -> TraceSummary:
     """Digest trace records into a :class:`TraceSummary`."""
     summary = TraceSummary()
+    histogram = summary.event_histogram
     for record in records:
         etype = record.get("type")
+        if etype is not None and not etype.startswith("trace."):
+            histogram[etype] = histogram.get(etype, 0) + 1
         if etype == "trace.header":
             summary.meta = dict(record.get("meta", {}))
         elif etype == "trace.footer":
@@ -373,8 +379,33 @@ def format_trace_summary(summary: TraceSummary, max_rows: int = 20) -> str:
                     f"  ... {len(summary.fault_timeline) - max_rows} more"
                 )
 
+    if summary.event_histogram:
+        total = sum(summary.event_histogram.values())
+        lines.append("")
+        lines.append(
+            f"trace event histogram ({total} records,"
+            f" {len(summary.event_histogram)} types):"
+        )
+        ranked_types = sorted(
+            summary.event_histogram.items(), key=lambda kv: (-kv[1], kv[0])
+        )
+        for etype, count in ranked_types[:max_rows]:
+            lines.append(f"  {etype:<24} {count}")
+        if len(ranked_types) > max_rows:
+            lines.append(f"  ... {len(ranked_types) - max_rows} more types")
+
     if summary.counters:
         sim_events = summary.counters.get("sim.events")
         if sim_events is not None:
+            lines.append("")
             lines.append(f"kernel events processed: {int(sim_events)}")
+            per_type = sorted(
+                (key, value)
+                for key, value in summary.counters.items()
+                if key.startswith("sim.events.")
+            )
+            for key, value in per_type:
+                lines.append(
+                    f"  {key.removeprefix('sim.events.'):<24} {int(value)}"
+                )
     return "\n".join(lines)

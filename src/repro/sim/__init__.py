@@ -25,17 +25,19 @@ simulation with a fixed RNG seed is exactly reproducible.
 
 from repro.sim.core import Environment, Process
 from repro.sim.errors import Interrupt, SimulationError, StopSimulation
-from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.events import NORMAL, URGENT, AllOf, AnyOf, Callback, Event, Timeout
 from repro.sim.resources import PriorityResource, Resource
 from repro.sim.stores import FilterStore, PriorityStore, Store
 
 __all__ = [
     "AllOf",
     "AnyOf",
+    "Callback",
     "Environment",
     "Event",
     "FilterStore",
     "Interrupt",
+    "NORMAL",
     "PriorityResource",
     "PriorityStore",
     "Process",
@@ -44,4 +46,5 @@ __all__ = [
     "StopSimulation",
     "Store",
     "Timeout",
+    "URGENT",
 ]

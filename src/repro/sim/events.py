@@ -111,6 +111,35 @@ class Event:
         return f"<{type(self).__name__} at {id(self):#x}>"
 
 
+class Callback(Event):
+    """A one-shot scheduled function call.
+
+    The fluid transfer fast path's primitive: no generator, no
+    :class:`~repro.sim.core.Process` machinery — processing the event
+    simply invokes ``fn``.  Created via
+    :meth:`~repro.sim.core.Environment.schedule_callback`, which puts it
+    on the calendar; where a process would cost an init event, a
+    timeout, and a process-completion event, a callback costs exactly
+    one calendar entry.
+    """
+
+    __slots__ = ("_fn",)
+
+    def __init__(self, env: "Environment", fn: Callable[[], Any]) -> None:
+        super().__init__(env)
+        self._fn = fn
+        self._ok = True
+        self._value = None
+        self.callbacks.append(self._invoke)  # type: ignore[union-attr]
+
+    def _invoke(self, _event: "Event") -> None:
+        self._fn()
+
+    def __repr__(self) -> str:
+        name = getattr(self._fn, "__name__", repr(self._fn))
+        return f"<Callback {name}>"
+
+
 class Timeout(Event):
     """An event that fires after a fixed simulated delay."""
 

@@ -85,6 +85,27 @@ class Resource:
         self._trigger()
         return req
 
+    def try_acquire(self) -> Optional[Request]:
+        """Claim a free slot synchronously, with no calendar event.
+
+        Returns a granted :class:`Request` (free it with
+        :meth:`release`), or None when every slot is held.  Occupancy
+        accounting is identical to :meth:`request` — a free slot is
+        claimed at call time either way — so holders via either protocol
+        queue behind each other correctly.  The fluid facility fast path
+        (:meth:`repro.net.host.Host._use`) uses this to occupy an
+        uncontended disk/CPU with a single timeout event instead of the
+        request-grant/timeout event pair.
+        """
+        if len(self._users) >= self._capacity:
+            return None
+        req = Request(self)
+        req.granted = True
+        req._ok = True
+        req._value = None
+        self._users.append(req)
+        return req
+
     def release(self, request: Request) -> None:
         """Free the slot held by ``request`` (or withdraw it if queued)."""
         if request.granted:

@@ -139,15 +139,16 @@ class WorkloadEngine:
         spec = self.spec
         tracer = self.tracer
         network = Network(env, tracer=tracer)
+        network.fluid_fast_path = spec.fluid_fast_path
         for host_name in spec.all_hosts:
-            network.add_host(
-                Host(
-                    env,
-                    host_name,
-                    disk_rate=spec.disk_rate,
-                    nic_capacity=spec.nic_capacity,
-                )
+            host = Host(
+                env,
+                host_name,
+                disk_rate=spec.disk_rate,
+                nic_capacity=spec.nic_capacity,
             )
+            host.fluid_facilities = spec.fluid_fast_path
+            network.add_host(host)
         links = spec.resolve_links()
         hosts = list(spec.all_hosts)
         for i, a in enumerate(hosts):

@@ -129,6 +129,9 @@ class WorkloadSpec:
     disk_rate: float = 3 * 1024 * 1024
     seed_initial_snapshot: bool = True
     max_sim_time: float = 10 * 86400.0
+    #: Kernel fast path for fault-free transfers (see
+    #: :attr:`repro.engine.config.SimulationSpec.fluid_fast_path`).
+    fluid_fast_path: bool = True
 
     def __post_init__(self) -> None:
         if not self.classes:
@@ -247,6 +250,7 @@ class WorkloadSpec:
             monitoring=self.monitoring,
             seed_initial_snapshot=self.seed_initial_snapshot,
             max_sim_time=self.max_sim_time,
+            fluid_fast_path=self.fluid_fast_path,
         )
         kwargs.update(dict(qclass.overrides))
         return SimulationSpec(**kwargs)

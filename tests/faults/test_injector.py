@@ -57,6 +57,48 @@ class TestQueries:
         assert injector.probe_blackout(5.0)
         assert not injector.probe_blackout(8.0)
 
+    def test_has_loss(self, env):
+        plan = make_plan(link_loss=(LinkLoss("a", "b", 0.5),))
+        injector = FaultInjector(plan, env)
+        assert injector.has_loss("a", "b")
+        assert injector.has_loss("b", "a")  # canonical pair
+        assert not injector.has_loss("a", "c")
+
+    def test_zero_probability_is_not_loss(self, env):
+        plan = make_plan(link_loss=(LinkLoss("a", "b", 0.0),))
+        assert not FaultInjector(plan, env).has_loss("a", "b")
+
+
+class TestNextBoundary:
+    # make_plan: outage a-b [10, 20), crash c [15, 40).
+
+    def test_finds_outage_edges(self, env):
+        injector = FaultInjector(make_plan(), env)
+        assert injector.next_boundary(("a", "b"), (), 0.0, 100.0) == 10.0
+        assert injector.next_boundary(("a", "b"), (), 12.0, 100.0) == 20.0
+
+    def test_finds_crash_edges(self, env):
+        injector = FaultInjector(make_plan(), env)
+        assert injector.next_boundary(("a", "c"), ("a", "c"), 0.0, 100.0) == 15.0
+        assert injector.next_boundary(("a", "c"), ("a", "c"), 16.0, 100.0) == 40.0
+
+    def test_earliest_across_outage_and_crash(self, env):
+        injector = FaultInjector(make_plan(), env)
+        # Outage start 10 beats crash start 15 when both windows apply.
+        assert injector.next_boundary(("a", "b"), ("c",), 0.0, 100.0) == 10.0
+
+    def test_interval_is_open(self, env):
+        injector = FaultInjector(make_plan(), env)
+        # Boundaries at exactly t0 or t1 do not count: a transfer that
+        # starts at a window edge sees constant fault state.
+        assert injector.next_boundary(("a", "b"), (), 10.0, 20.0) is None
+        assert injector.next_boundary(("a", "b"), (), 5.0, 10.0) is None
+
+    def test_clear_window_returns_none(self, env):
+        injector = FaultInjector(make_plan(), env)
+        assert injector.next_boundary(("a", "b"), ("a", "b"), 20.0, 100.0) is None
+        assert injector.next_boundary(("x", "y"), ("x", "y"), 0.0, 1e9) is None
+
 
 class TestLossStreams:
     PLAN = FaultPlan(seed=11, link_loss=(LinkLoss("a", "b", 0.5),))

@@ -54,6 +54,21 @@ class TestTopology:
         assert net.bandwidth_at("a", "a", 0) == float("inf")
         assert net.mean_bandwidth("a", "b", 0, 10) == 123.0
 
+    def test_bandwidth_oracle_negative_time_rejected(self, env):
+        net = build_network(env)
+        with pytest.raises(ValueError, match="negative time"):
+            net.bandwidth_at("a", "b", -1.0)
+        with pytest.raises(ValueError, match="negative time"):
+            net.bandwidth_at("a", "a", -1.0)  # even the self-link shortcut
+
+    def test_mean_bandwidth_invalid_window_rejected(self, env):
+        net = build_network(env)
+        with pytest.raises(ValueError, match="negative window start"):
+            net.mean_bandwidth("a", "b", -0.5, 10.0)
+        with pytest.raises(ValueError, match="precedes start"):
+            net.mean_bandwidth("a", "b", 10.0, 5.0)
+        assert net.mean_bandwidth("a", "b", 5.0, 5.0) >= 0  # empty window ok
+
 
 class TestActorRegistry:
     def test_register_and_lookup(self, env):
@@ -208,6 +223,61 @@ class TestTransfers:
         assert net.hosts["a"].stats.bytes_sent == 1000
         assert net.hosts["b"].stats.messages_received == 1
         assert net.hosts["b"].stats.nic_busy_time == pytest.approx(1.0)
+
+    def test_fluid_counter_splits_from_des(self, env):
+        net = build_network(env, rate=1000.0)
+        net.register_actor("s", "a")
+        net.register_actor("d", "b")
+        net.send(data_message("s", "d"))
+        env.run()
+        assert net.stats.fluid_transfers == 1
+        assert net.stats.des_transfers == 0
+
+    def test_forced_slow_path_counts_des(self, env):
+        net = build_network(env, rate=1000.0)
+        net.fluid_fast_path = False
+        net.register_actor("s", "a")
+        net.register_actor("d", "b")
+        message = data_message("s", "d", size=1000 - 256)
+        net.send(message)
+        env.run()
+        assert message.delivered_at == pytest.approx(1.0)
+        assert net.stats.fluid_transfers == 0
+        assert net.stats.des_transfers == 1
+
+    def test_post_delivers_without_done_event(self, env):
+        net = build_network(env, rate=1000.0)
+        net.register_actor("s", "a")
+        net.register_actor("d", "b")
+        message = data_message("s", "d", size=1000 - 256)
+        assert net.post(message) is None
+        env.run()
+        assert message.delivered_at == pytest.approx(1.0)
+        assert len(net.hosts["b"].mailbox("d")) == 1
+
+    def test_post_and_send_same_timing(self, env):
+        timings = {}
+        for use_post in (False, True):
+            fresh_env = type(env)()
+            net = build_network(fresh_env, rate=1000.0)
+            net.register_actor("s", "a")
+            net.register_actor("d", "b")
+            message = data_message("s", "d", size=500)
+            (net.post if use_post else net.send)(message)
+            fresh_env.run()
+            timings[use_post] = message.delivered_at
+        assert timings[True] == timings[False]
+
+    def test_post_falls_back_to_send_when_slow(self, env):
+        net = build_network(env, rate=1000.0)
+        net.fluid_fast_path = False
+        net.register_actor("s", "a")
+        net.register_actor("d", "b")
+        message = data_message("s", "d")
+        net.post(message)
+        env.run()
+        assert message.delivered_at is not None
+        assert net.stats.des_transfers == 1
 
     def test_piggyback_hooks_called(self, env):
         net = build_network(env)

@@ -16,6 +16,7 @@ from repro.engine.config import Algorithm
 from repro.engine.metrics import RunMetrics
 from repro.engine.simulation import run_simulation
 from repro.obs import Tracer, summarize_records, write_jsonl
+from repro.obs.summary import format_trace_summary
 from tests.conftest import tiny_spec
 
 
@@ -63,3 +64,62 @@ def test_trace_summary_consistent_with_metrics():
     )
     wire_bytes = sum(v[1] for v in summary.link_traffic.values())
     assert wire_bytes == pytest.approx(live.bytes_on_wire)
+
+
+class TestEventHistogram:
+    def test_counts_every_non_frame_record(self):
+        xfer = {"src_host": "a", "dst_host": "b", "wire_bytes": 10}
+        records = [
+            {"type": "trace.header", "meta": {}},
+            {"type": "link.transfer", "t": 1.0, **xfer},
+            {"type": "link.transfer", "t": 2.0, **xfer},
+            {"type": "planner.run", "t": 3.0},
+            {"type": "trace.footer", "counters": {}},
+        ]
+        summary = summarize_records(records)
+        assert summary.event_histogram == {
+            "link.transfer": 2,
+            "planner.run": 1,
+        }
+
+    def test_histogram_totals_match_stream(self):
+        tracer = Tracer()
+        run_simulation(tiny_spec(algorithm=Algorithm.GLOBAL, images=4),
+                       tracer=tracer)
+        summary = summarize_records(tracer.events)
+        framed = [e for e in tracer.events
+                  if not e.get("type", "").startswith("trace.")]
+        assert sum(summary.event_histogram.values()) == len(framed)
+        assert summary.event_histogram["link.transfer"] == sum(
+            v[0] for v in summary.link_traffic.values()
+        )
+
+    def test_report_renders_histogram_and_kernel_counters(self):
+        xfer = {"src_host": "a", "dst_host": "b", "wire_bytes": 10}
+        summary = summarize_records([
+            {"type": "link.transfer", "t": 1.0, **xfer},
+            {"type": "link.transfer", "t": 2.0, **xfer},
+            {"type": "arrival", "t": 3.0},
+            {
+                "type": "trace.footer",
+                "counters": {
+                    "sim.events": 42,
+                    "sim.events.Callback": 30,
+                    "sim.events.Timeout": 12,
+                },
+            },
+        ])
+        report = format_trace_summary(summary)
+        assert "trace event histogram (3 records, 2 types):" in report
+        # Sorted by descending count.
+        lines = report.splitlines()
+        histogram_at = lines.index("trace event histogram (3 records, 2 types):")
+        assert "link.transfer" in lines[histogram_at + 1]
+        assert "arrival" in lines[histogram_at + 2]
+        assert "kernel events processed: 42" in report
+        assert any("Callback" in line and "30" in line for line in lines)
+
+    def test_report_caps_histogram_rows(self):
+        records = [{"type": f"kind.{i:03d}", "t": float(i)} for i in range(30)]
+        report = format_trace_summary(summarize_records(records), max_rows=5)
+        assert "... 25 more types" in report
