@@ -17,7 +17,7 @@ import os
 
 import pytest
 
-from repro.experiments import ExperimentSetup, resolve_workers
+from repro.experiments import ExperimentConfig, resolve_workers
 
 
 def configured_configs(default: int) -> int:
@@ -42,10 +42,10 @@ def configured_workers() -> int:
 
 
 @pytest.fixture(scope="session")
-def paper_setup() -> ExperimentSetup:
+def paper_setup() -> ExperimentConfig:
     """The paper's main experimental setup: 8 servers, binary tree,
     180 images/server, 10-minute relocation period."""
-    return ExperimentSetup()
+    return ExperimentConfig()
 
 
 def show(title: str, table: str) -> None:

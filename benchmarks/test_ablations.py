@@ -10,7 +10,7 @@ import numpy as np
 
 from benchmarks.conftest import configured_configs, show
 from repro.engine.config import Algorithm
-from repro.experiments import ExperimentSetup
+from repro.experiments import ExperimentConfig
 from repro.experiments.runner import run_configuration
 from repro.monitor.system import MonitoringConfig
 
@@ -105,7 +105,7 @@ def test_ablation_monitoring_fidelity(benchmark, paper_setup):
 def test_ablation_piggybacking(benchmark):
     """Disabling the 1 KB measurement gossip starves remote caches."""
     n_configs = configured_configs(8)
-    base_setup = ExperimentSetup()
+    base_setup = ExperimentConfig()
 
     def run():
         with_piggyback = mean_speedup(base_setup, n_configs, Algorithm.GLOBAL)

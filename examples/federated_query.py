@@ -25,7 +25,7 @@ import numpy as np
 
 from repro import Algorithm
 from repro.app import CompositionSpec, JoinCombiner, MergeCombiner
-from repro.experiments import ExperimentSetup, run_configuration
+from repro.experiments import ExperimentConfig, run_configuration
 
 WORKLOADS = [
     ("image composition", CompositionSpec()),
@@ -37,7 +37,7 @@ WORKLOADS = [
 
 def main() -> None:
     n_configs = int(sys.argv[1]) if len(sys.argv) > 1 else 3
-    setup = ExperimentSetup(num_servers=8, images_per_server=60)
+    setup = ExperimentConfig(num_servers=8, images_per_server=60)
 
     print(f"{'workload':<20}{'download-all ia':>17}{'global ia':>12}"
           f"{'speedup':>9}{'relocations':>13}")

@@ -9,13 +9,13 @@ Run:  python examples/quickstart.py
 """
 
 from repro import Algorithm
-from repro.experiments import ExperimentSetup, run_configuration
+from repro.experiments import ExperimentConfig, run_configuration
 
 
 def main() -> None:
     # 4 servers + 1 client, complete binary combination tree,
     # 60 images per server (the paper uses 180; fewer keeps this quick).
-    setup = ExperimentSetup(num_servers=4, images_per_server=60, seed=2026)
+    setup = ExperimentConfig(num_servers=4, images_per_server=60, seed=2026)
 
     print("Simulating the download-all baseline (all operators at the client)...")
     baseline = run_configuration(setup, config_index=0, algorithm=Algorithm.DOWNLOAD_ALL)

@@ -18,7 +18,7 @@ import numpy as np
 
 from repro import Algorithm
 from repro.experiments import (
-    ExperimentSetup,
+    ExperimentConfig,
     compare_algorithms,
     speedup_series,
 )
@@ -33,7 +33,7 @@ ALGORITHMS = [
 
 def main() -> None:
     n_configs = int(sys.argv[1]) if len(sys.argv) > 1 else 5
-    setup = ExperimentSetup(num_servers=8, images_per_server=90)
+    setup = ExperimentConfig(num_servers=8, images_per_server=90)
 
     print(
         f"Running {len(ALGORITHMS)} placement policies on {n_configs} "

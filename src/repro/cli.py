@@ -82,6 +82,17 @@ def _add_workers_argument(parser: argparse.ArgumentParser) -> None:
              "0 = one per CPU)")
 
 
+def _add_trace_argument(
+    parser: argparse.ArgumentParser,
+    *,
+    metavar: str = "PATH",
+    help_text: str = "record the run's event stream to a JSONL trace",
+) -> None:
+    """The shared ``--trace`` flag (run, compare and workload)."""
+    parser.add_argument("--trace", default=None, metavar=metavar,
+                        help=help_text)
+
+
 def _add_faults_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--faults", default=None, metavar="PLAN.json",
@@ -262,8 +273,74 @@ def _parse_mix(text: str, period: float) -> tuple:
     return tuple(classes)
 
 
+def _print_fleet(fleet: dict) -> None:
+    """Human-readable fleet summary, schema 1 (exact) or 2 (streaming)."""
+    latency = fleet["latency"]
+    print(
+        f"{fleet['completed']}/{fleet['scheduled']} queries completed "
+        f"({fleet['truncated']} truncated) in {fleet['elapsed']:.1f}s"
+    )
+    if latency["count"]:
+        print(
+            f"latency: mean {latency['mean']:.1f}s  p50 {latency['p50']:.1f}s"
+            f"  p95 {latency['p95']:.1f}s  p99 {latency['p99']:.1f}s"
+        )
+    print(f"Jain fairness across clients: {fleet['fairness_jain']:.3f}")
+    print(
+        f"relocations: {fleet['relocations']['total']} "
+        f"({fleet['relocations']['per_query_mean']:.2f}/query)"
+    )
+    if fleet["workload_schema"] == 1:
+        print(f"\n{'query':<8}{'class':<14}{'algorithm':<14}"
+              f"{'issued':>9}{'latency':>10}{'reloc':>7}")
+        for query in fleet["queries"]:
+            latency_s = (
+                "TRUNC" if query["latency"] is None
+                else f"{query['latency']:.1f}s"
+            )
+            print(
+                f"{query['query_id']:<8}{query['class']:<14}"
+                f"{query['algorithm']:<14}{query['issued_at']:>9.1f}"
+                f"{latency_s:>10}{query['relocations']:>7}"
+            )
+    else:
+        clients = fleet["clients"]
+        print(
+            f"streaming metrics (±{fleet['relative_error']:.0%} quantile "
+            f"error), {clients['active']}/{clients['total']} clients active"
+        )
+        print(f"\n{'class':<14}{'launched':>10}{'completed':>11}"
+              f"{'p50':>9}{'p99':>9}")
+        for name, entry in fleet["per_class"].items():
+            block = entry["latency"]
+            p50 = "-" if block["p50"] is None else f"{block['p50']:.1f}s"
+            p99 = "-" if block["p99"] is None else f"{block['p99']:.1f}s"
+            print(
+                f"{name:<14}{entry['launched']:>10}{entry['completed']:>11}"
+                f"{p50:>9}{p99:>9}"
+            )
+    busiest = sorted(
+        fleet["links"].items(),
+        key=lambda kv: kv[1]["utilization"],
+        reverse=True,
+    )[:5]
+    if busiest:
+        print(f"\n{'link':<16}{'MiB':>9}{'transfers':>11}{'util':>7}")
+        for name, entry in busiest:
+            print(
+                f"{name:<16}{entry['bytes'] / 2**20:>9.1f}"
+                f"{entry['transfers']:>11}{entry['utilization']:>7.2f}"
+            )
+
+
 def cmd_workload(args: argparse.Namespace) -> int:
-    from repro.workload import ClosedLoop, OpenLoop, WorkloadSpec, run_workload
+    from repro.workload import (
+        ClosedLoop,
+        OpenLoop,
+        WorkloadSpec,
+        run_workload,
+        run_workload_sharded,
+    )
 
     if args.arrivals == "open":
         arrivals = OpenLoop(rate=args.rate, process=args.process)
@@ -282,62 +359,53 @@ def cmd_workload(args: argparse.Namespace) -> int:
         config_index=args.config,
         fault_plan=fault_overrides.get("faults"),
         max_sim_time=args.max_time,
+        metrics_mode=None if args.metrics == "auto" else args.metrics,
     )
+    if args.trace and args.trace_dir:
+        raise SystemExit("--trace and --trace-dir are mutually exclusive")
+    if args.shards > 1 and (args.trace or args.trace_dir):
+        raise SystemExit(
+            "tracing a sharded run is unsupported: each shard is its own "
+            "process; drop --shards or the trace flag"
+        )
     tracer = None
     if args.trace:
         from repro.obs import Tracer
 
         tracer = Tracer()
-    result = run_workload(spec, tracer=tracer)
+    elif args.trace_dir:
+        from repro.obs import StreamingTracer
+
+        tracer = StreamingTracer(
+            args.trace_dir,
+            max_segment_bytes=args.segment_bytes,
+            max_segments=args.max_segments,
+        )
+    if args.shards > 1:
+        result = run_workload_sharded(spec, args.shards, workers=args.workers)
+    else:
+        result = run_workload(spec, tracer=tracer)
     fleet = result.fleet
     if args.json:
         print(json.dumps(fleet, indent=2))
     else:
-        latency = fleet["latency"]
-        print(
-            f"{fleet['completed']}/{fleet['scheduled']} queries completed "
-            f"({fleet['truncated']} truncated) in {fleet['elapsed']:.1f}s"
-        )
-        if latency["count"]:
-            print(
-                f"latency: mean {latency['mean']:.1f}s  p50 {latency['p50']:.1f}s"
-                f"  p95 {latency['p95']:.1f}s  p99 {latency['p99']:.1f}s"
-            )
-        print(f"Jain fairness across clients: {fleet['fairness_jain']:.3f}")
-        print(
-            f"relocations: {fleet['relocations']['total']} "
-            f"({fleet['relocations']['per_query_mean']:.2f}/query)"
-        )
-        print(f"\n{'query':<8}{'class':<14}{'algorithm':<14}"
-              f"{'issued':>9}{'latency':>10}{'reloc':>7}")
-        for query in fleet["queries"]:
-            latency_s = (
-                "TRUNC" if query["latency"] is None
-                else f"{query['latency']:.1f}s"
-            )
-            print(
-                f"{query['query_id']:<8}{query['class']:<14}"
-                f"{query['algorithm']:<14}{query['issued_at']:>9.1f}"
-                f"{latency_s:>10}{query['relocations']:>7}"
-            )
-        busiest = sorted(
-            fleet["links"].items(),
-            key=lambda kv: kv[1]["utilization"],
-            reverse=True,
-        )[:5]
-        if busiest:
-            print(f"\n{'link':<16}{'MiB':>9}{'transfers':>11}{'util':>7}")
-            for name, entry in busiest:
-                print(
-                    f"{name:<16}{entry['bytes'] / 2**20:>9.1f}"
-                    f"{entry['transfers']:>11}{entry['utilization']:>7.2f}"
-                )
+        _print_fleet(fleet)
     if tracer is not None:
-        from repro.obs import write_jsonl
+        if args.trace:
+            from repro.obs import write_jsonl
 
-        count = write_jsonl(tracer, args.trace)
-        print(f"{count} trace records written to {args.trace}",
-              file=sys.stderr)
+            count = write_jsonl(tracer, args.trace)
+            print(f"{count} trace records written to {args.trace}",
+                  file=sys.stderr)
+        else:
+            tracer.close()
+            writer = tracer.writer
+            print(
+                f"{writer.records_written} trace records written to "
+                f"{len(writer.segment_paths)} segments under "
+                f"{args.trace_dir} ({writer.segments_dropped} dropped)",
+                file=sys.stderr,
+            )
     return 1 if fleet["truncated"] else 0
 
 
@@ -429,8 +497,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--config", type=int, default=0,
                      help="network-configuration index (default 0)")
     run.add_argument("--json", action="store_true", help="JSON output")
-    run.add_argument("--trace", default=None, metavar="PATH",
-                     help="record the run's event stream to a JSONL trace")
+    _add_trace_argument(run)
     run.add_argument("--chrome-trace", default=None, metavar="PATH",
                      help="also export a Chrome trace_event file "
                           "(Perfetto-loadable)")
@@ -443,9 +510,10 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--configs", type=int, default=5)
     compare.add_argument("--out", default=None,
                          help="archive per-run metrics (.json or .csv)")
-    compare.add_argument("--trace", default=None, metavar="DIR",
-                         help="record one JSONL trace per run into DIR "
-                              "(forces a serial sweep)")
+    _add_trace_argument(
+        compare, metavar="DIR",
+        help_text="record one JSONL trace per run into DIR "
+                  "(forces a serial sweep)")
     _add_faults_argument(compare)
     compare.set_defaults(func=cmd_compare)
 
@@ -496,9 +564,29 @@ def build_parser() -> argparse.ArgumentParser:
                           help="truncate the fleet at this sim time")
     workload.add_argument("--json", action="store_true",
                           help="print the full fleet summary as JSON")
-    workload.add_argument("--trace", default=None, metavar="PATH",
-                          help="record the query_id-tagged event stream "
-                               "to a JSONL trace")
+    _add_workers_argument(workload)
+    workload.add_argument("--shards", type=int, default=1,
+                          help="client-hash shard the fleet across this "
+                               "many processes (default 1: unsharded)")
+    workload.add_argument("--metrics",
+                          choices=("auto", "exact", "streaming"),
+                          default="auto",
+                          help="fleet metrics mode (default auto: exact "
+                               "below the threshold, streaming above)")
+    _add_trace_argument(
+        workload,
+        help_text="record the query_id-tagged event stream "
+                  "to a JSONL trace")
+    workload.add_argument("--trace-dir", default=None, metavar="DIR",
+                          help="stream the event stream to rotating JSONL "
+                               "segments under DIR (bounded memory)")
+    workload.add_argument("--segment-bytes", type=int,
+                          default=8 * 1024 * 1024,
+                          help="rotate --trace-dir segments at this size "
+                               "(default 8 MiB)")
+    workload.add_argument("--max-segments", type=int, default=None,
+                          help="keep at most this many --trace-dir "
+                               "segments, pruning the oldest")
     _add_faults_argument(workload)
     workload.set_defaults(func=cmd_workload)
 

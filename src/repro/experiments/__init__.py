@@ -7,8 +7,8 @@ participating hosts.  This package reproduces that methodology:
 
 * :class:`~repro.experiments.config.ExperimentConfig` — the shared
   inputs (trace library, workload parameters, master seed) plus the
-  report-scale knobs; :class:`~repro.experiments.config.ExperimentSetup`
-  is its deprecated alias;
+  report-scale knobs (the deprecated ``ExperimentSetup`` /
+  ``ReportOptions`` aliases have been removed);
 * :func:`~repro.experiments.runner.run_configuration` — one simulation of
   one algorithm on one configuration;
 * :mod:`~repro.experiments.figures` — one reproduction function per paper
@@ -18,7 +18,6 @@ participating hosts.  This package reproduces that methodology:
 
 from repro.experiments.config import (
     ExperimentConfig,
-    ExperimentSetup,
     build_spec,
     make_configuration,
 )
@@ -45,7 +44,6 @@ from repro.experiments.figures import (
 __all__ = [
     "AlgorithmSummary",
     "ExperimentConfig",
-    "ExperimentSetup",
     "Fig10Result",
     "Fig6Result",
     "Fig7Result",

@@ -8,7 +8,6 @@ uniform random number generator."
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, replace
 from functools import lru_cache
 from typing import Optional
@@ -31,11 +30,11 @@ def _default_library(seed: int) -> TraceLibrary:
 class ExperimentConfig:
     """One composable config for a family of experiments *and* reporting.
 
-    Collapses the workload knobs (formerly :class:`ExperimentSetup`) and
-    the report knobs (formerly :class:`~repro.experiments.report.
-    ReportOptions`) into a single frozen dataclass, so a whole study is
-    one value that can be passed around, ``dataclasses.replace``-d, and
-    pickled to sweep workers.
+    Collapses the workload knobs (formerly ``ExperimentSetup``) and the
+    report knobs (formerly ``ReportOptions``; both aliases removed) into
+    a single frozen dataclass, so a whole study is one value that can be
+    passed around, ``dataclasses.replace``-d, and pickled to sweep
+    workers.
     """
 
     # ---- workload ----------------------------------------------------
@@ -89,22 +88,6 @@ class ExperimentConfig:
             return override
         # The sweep figures multiply runs by their sweep size; scale down.
         return max(2, self.n_configs // 3)
-
-
-class ExperimentSetup(ExperimentConfig):
-    """Deprecated alias of :class:`ExperimentConfig`.
-
-    Kept for one release so existing call sites keep working; construct
-    :class:`ExperimentConfig` instead.
-    """
-
-    def __init__(self, *args, **kwargs) -> None:
-        warnings.warn(
-            "ExperimentSetup is deprecated; use ExperimentConfig",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        super().__init__(*args, **kwargs)
 
 
 def make_configuration(

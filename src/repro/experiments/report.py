@@ -9,8 +9,7 @@ a self-contained markdown report plus a JSON archive of every number.
 from __future__ import annotations
 
 import json
-import warnings
-from dataclasses import asdict, dataclass, fields
+from dataclasses import asdict
 from pathlib import Path
 from typing import Optional, Sequence
 
@@ -74,104 +73,20 @@ def ascii_curve(
     return "\n".join(lines)
 
 
-#: Report-scale fields that :class:`ReportOptions` used to own; they now
-#: live on :class:`~repro.experiments.config.ExperimentConfig`.
-_REPORT_FIELDS = (
-    "n_configs",
-    "workers",
-    "include_fig7",
-    "include_fig8",
-    "include_fig9",
-    "include_fig10",
-    "fig7_configs",
-    "fig8_configs",
-    "fig9_configs",
-    "fig10_configs",
-)
-
-
-@dataclass
-class ReportOptions:
-    """Deprecated alias: report knobs now live on ``ExperimentConfig``.
-
-    Kept for one release so ``generate_report(setup, options)`` call
-    sites keep working; set the same fields on
-    :class:`~repro.experiments.config.ExperimentConfig` instead.
-    """
-
-    n_configs: int = 30
-    #: Parallel sweep workers (None: honour ``REPRO_WORKERS``, else serial).
-    workers: Optional[int] = None
-    include_fig7: bool = True
-    include_fig8: bool = True
-    include_fig9: bool = True
-    include_fig10: bool = True
-    fig7_configs: Optional[int] = None
-    fig8_configs: Optional[int] = None
-    fig9_configs: Optional[int] = None
-    fig10_configs: Optional[int] = None
-
-    def __post_init__(self) -> None:
-        warnings.warn(
-            "ReportOptions is deprecated; set report fields on "
-            "ExperimentConfig",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-
-    def configs_for(self, figure: str) -> int:
-        override = getattr(self, f"{figure}_configs")
-        if override is not None:
-            return override
-        # The sweep figures multiply runs by their sweep size; scale down.
-        return max(2, self.n_configs // 3)
-
-
-def _as_config(setup, options) -> ExperimentConfig:
-    """Normalize legacy ``(setup, options)`` pairs onto one config.
-
-    ``setup`` may be any object carrying ``ExperimentConfig``'s fields
-    (including the deprecated ``ExperimentSetup``); a legacy ``options``
-    overrides the report-scale fields.
-    """
-    if setup is None:
-        config = ExperimentConfig()
-    elif isinstance(setup, ExperimentConfig) and type(setup) is ExperimentConfig:
-        config = setup
-    else:
-        config = ExperimentConfig(
-            **{
-                f.name: getattr(setup, f.name)
-                for f in fields(ExperimentConfig)
-                if hasattr(setup, f.name)
-            }
-        )
-    if options is not None:
-        values = {f.name: getattr(config, f.name) for f in fields(ExperimentConfig)}
-        for name in _REPORT_FIELDS:
-            values[name] = getattr(options, name)
-        config = ExperimentConfig(**values)
-    return config
-
-
 def generate_report(
     setup: Optional[ExperimentConfig] = None,
-    options: Optional[ReportOptions] = None,
     out_dir: "str | Path | None" = None,
     echo=print,
 ) -> dict:
     """Run the evaluation and return (and optionally write) the report.
 
     ``setup`` is an :class:`~repro.experiments.config.ExperimentConfig`
-    carrying both workload and report-scale knobs; the legacy
-    ``(ExperimentSetup, ReportOptions)`` pair is still accepted and
-    merged into one config.  Returns a dict with ``markdown`` (the
-    report text) and ``data`` (all numbers, JSON-serializable).  When
-    ``out_dir`` is given, writes ``report.md`` and ``report.json``
-    there.
+    carrying both workload and report-scale knobs (``None``: the default
+    config).  Returns a dict with ``markdown`` (the report text) and
+    ``data`` (all numbers, JSON-serializable).  When ``out_dir`` is
+    given, writes ``report.md`` and ``report.json`` there.
     """
-    setup = _as_config(setup, options)
-    options = setup
+    setup = ExperimentConfig() if setup is None else setup
     sections: list[str] = [
         "# Reproduction report — Adapting to Bandwidth Variations in "
         "Wide-Area Data Combination (ICDCS 1998)",
@@ -179,19 +94,19 @@ def generate_report(
         f"- servers: {setup.num_servers}, images/server: "
         f"{setup.images_per_server}, tree: {setup.tree_shape}",
         f"- master seed: {setup.seed}, study seed: {setup.study_seed}",
-        f"- figure 6 scale: {options.n_configs} configurations",
+        f"- figure 6 scale: {setup.n_configs} configurations",
         "",
     ]
     data: dict = {"setup": {
         "num_servers": setup.num_servers,
         "images_per_server": setup.images_per_server,
         "seed": setup.seed,
-        "n_configs": options.n_configs,
+        "n_configs": setup.n_configs,
     }}
 
-    echo(f"[report] figure 6 ({options.n_configs} configurations)...")
+    echo(f"[report] figure 6 ({setup.n_configs} configurations)...")
     fig6 = fig6_main_comparison(
-        setup, n_configs=options.n_configs, workers=options.workers
+        setup, n_configs=setup.n_configs, workers=setup.workers
     )
     ratio_go = paired_ratio(fig6.global_speedups, fig6.one_shot_speedups)
     ratio_gl = paired_ratio(fig6.global_speedups, fig6.local_speedups)
@@ -224,18 +139,18 @@ def generate_report(
         "ratio_global_local": asdict(ratio_gl),
     }
 
-    if options.include_fig7:
-        n = options.configs_for("fig7")
+    if setup.include_fig7:
+        n = setup.configs_for("fig7")
         echo(f"[report] figure 7 ({n} configurations)...")
-        fig7 = fig7_extra_sites(setup, n_configs=n, workers=options.workers)
+        fig7 = fig7_extra_sites(setup, n_configs=n, workers=setup.workers)
         sections += ["## Figure 7 — extra candidate sites", "", "```",
                      fig7.format_table(), "```", ""]
         data["fig7"] = {"ks": fig7.ks, "mean_speedups": fig7.mean_speedups}
 
-    if options.include_fig8:
-        n = options.configs_for("fig8")
+    if setup.include_fig8:
+        n = setup.configs_for("fig8")
         echo(f"[report] figure 8 ({n} configurations)...")
-        fig8 = fig8_server_scaling(setup, n_configs=n, workers=options.workers)
+        fig8 = fig8_server_scaling(setup, n_configs=n, workers=setup.workers)
         sections += ["## Figure 8 — scaling", "", "```",
                      fig8.format_table(), "```", ""]
         data["fig8"] = {
@@ -243,11 +158,11 @@ def generate_report(
             "mean_speedups": fig8.mean_speedups,
         }
 
-    if options.include_fig9:
-        n = options.configs_for("fig9")
+    if setup.include_fig9:
+        n = setup.configs_for("fig9")
         echo(f"[report] figure 9 ({n} configurations)...")
         fig9 = fig9_relocation_period(
-            setup, n_configs=n, workers=options.workers
+            setup, n_configs=n, workers=setup.workers
         )
         sections += ["## Figure 9 — relocation period", "", "```",
                      fig9.format_table(), "```", ""]
@@ -256,10 +171,10 @@ def generate_report(
             "mean_speedups": fig9.mean_speedups,
         }
 
-    if options.include_fig10:
-        n = options.configs_for("fig10")
+    if setup.include_fig10:
+        n = setup.configs_for("fig10")
         echo(f"[report] figure 10 ({n} configurations)...")
-        fig10 = fig10_tree_shape(setup, n_configs=n, workers=options.workers)
+        fig10 = fig10_tree_shape(setup, n_configs=n, workers=setup.workers)
         sections += [
             "## Figure 10 — combination order", "", "```",
             ascii_curve(

@@ -11,6 +11,11 @@ trace``, or replay the aggregates via ``RunMetrics.from_trace``.
 The default is :data:`NULL_TRACER`, whose methods are no-ops and whose
 ``enabled`` is False, so untraced runs pay a single attribute test per
 instrumented site.
+
+For runs too long to buffer in memory, :class:`StreamingTracer` spools
+events to rotating, size/age-budgeted JSONL segments
+(:class:`RotatingTraceWriter`) that :func:`read_segments` replays
+lazily — see :mod:`repro.obs.rotating`.
 """
 
 from repro.obs import events
@@ -23,6 +28,13 @@ from repro.obs.exporters import (
     trace_counters,
     write_chrome_trace,
     write_jsonl,
+)
+from repro.obs.rotating import (
+    SEGMENT_HEADER,
+    RotatingTraceWriter,
+    StreamingTracer,
+    read_segments,
+    segment_paths,
 )
 from repro.obs.summary import (
     TraceSummary,
@@ -51,6 +63,11 @@ __all__ = [
     "trace_counters",
     "write_chrome_trace",
     "write_jsonl",
+    "SEGMENT_HEADER",
+    "RotatingTraceWriter",
+    "StreamingTracer",
+    "read_segments",
+    "segment_paths",
     "TraceSummary",
     "format_trace_summary",
     "query_records",

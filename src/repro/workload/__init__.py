@@ -10,7 +10,14 @@ links, NICs, monitoring substrate and fault timeline.
 * :class:`OpenLoop` / :class:`ClosedLoop` — seeded arrival disciplines.
 * :func:`run_workload` / :class:`WorkloadEngine` — execution.
 * :func:`run_workload_sweep` — parallel batches of workloads.
+* :func:`run_workload_sharded` — one fleet, client-hash sharded across
+  processes with order-invariant :class:`MetricsSink` merges.
 * :func:`fleet_from_trace` — rebuild the fleet summary from a trace.
+
+Fleet metrics flow through one :class:`MetricsSink` funnel: exact
+(``workload_schema: 1``) below ``WorkloadSpec.exact_metrics_threshold``,
+streaming quantile sketches (``workload_schema: 2``, flat memory) above
+it.
 
 Every trace event of a workload run is tagged with its ``query_id``, so
 a shared trace can be sliced per query
@@ -34,6 +41,8 @@ from repro.workload.engine import (
     run_workload,
 )
 from repro.workload.metrics import (
+    LATENCY_KEYS,
+    STREAMING_SCHEMA,
     WORKLOAD_SCHEMA,
     LinkUsage,
     LinkUsageRecorder,
@@ -42,13 +51,29 @@ from repro.workload.metrics import (
     fleet_from_trace,
     jain_index,
 )
+from repro.workload.sink import (
+    DEFAULT_EXACT_THRESHOLD,
+    ExactFleetMetrics,
+    MetricsSink,
+    QueryStats,
+    StreamingFleetMetrics,
+    client_index_of,
+    fleet_metrics_for,
+    merge_sinks,
+)
+from repro.workload.sketch import OrderFreeSum, QuantileSketch
 from repro.workload.spec import (
     QueryClass,
     WorkloadSpec,
     client_of,
     query_id_for,
 )
-from repro.workload.sweep import run_workload_sweep
+from repro.workload.sweep import (
+    run_workload_sharded,
+    run_workload_sweep,
+    shard_clients,
+    shard_of,
+)
 
 __all__ = [
     "Arrivals",
@@ -63,6 +88,8 @@ __all__ = [
     "WorkloadResult",
     "build_schedule",
     "run_workload",
+    "LATENCY_KEYS",
+    "STREAMING_SCHEMA",
     "WORKLOAD_SCHEMA",
     "LinkUsage",
     "LinkUsageRecorder",
@@ -70,9 +97,22 @@ __all__ = [
     "build_fleet_summary",
     "fleet_from_trace",
     "jain_index",
+    "DEFAULT_EXACT_THRESHOLD",
+    "ExactFleetMetrics",
+    "MetricsSink",
+    "QueryStats",
+    "StreamingFleetMetrics",
+    "client_index_of",
+    "fleet_metrics_for",
+    "merge_sinks",
+    "OrderFreeSum",
+    "QuantileSketch",
     "QueryClass",
     "WorkloadSpec",
     "client_of",
     "query_id_for",
+    "run_workload_sharded",
     "run_workload_sweep",
+    "shard_clients",
+    "shard_of",
 ]

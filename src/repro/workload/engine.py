@@ -40,11 +40,7 @@ from repro.workload.arrivals import (
     open_loop_times,
     think_seconds,
 )
-from repro.workload.metrics import (
-    LinkUsageRecorder,
-    QueryOutcome,
-    build_fleet_summary,
-)
+from repro.workload.sink import MetricsSink, QueryStats
 from repro.workload.spec import QueryClass, WorkloadSpec, query_id_for
 
 
@@ -64,7 +60,9 @@ class QueryPlan:
     """A launched query: its runtime plus launch bookkeeping."""
 
     scheduled: ScheduledQuery
-    runtime: Runtime
+    #: ``None`` once the streaming path has finalized the query and
+    #: released its runtime.
+    runtime: Optional[Runtime]
     issued_at: float
 
     @property
@@ -93,12 +91,19 @@ class QueryResult:
 
 @dataclass
 class WorkloadResult:
-    """Everything one workload run produced."""
+    """Everything one workload run produced.
+
+    ``queries`` is empty when the streaming metrics path ran (per-query
+    results are not materialized at scale); ``metrics`` is the
+    :class:`~repro.workload.sink.MetricsSink` that accumulated the run,
+    kept so sharded runs can merge sinks before summarizing.
+    """
 
     spec: WorkloadSpec
     elapsed: float
     queries: list[QueryResult]
     fleet: dict[str, Any]
+    metrics: Optional[MetricsSink] = None
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-serializable form: the fleet summary (it embeds the
@@ -107,9 +112,14 @@ class WorkloadResult:
 
 
 def build_schedule(spec: WorkloadSpec) -> list[ScheduledQuery]:
-    """Every (client, ordinal) slot of the workload, in client order."""
+    """Every (client, ordinal) slot of the workload, in client order.
+
+    A spec with a ``client_subset`` (one shard of a larger population)
+    schedules only those clients, with identical per-client seeds and
+    query ids to the full run.
+    """
     schedule: list[ScheduledQuery] = []
-    for client_index in range(spec.num_clients):
+    for client_index in spec.client_indices:
         mix = spec.mix_for(client_index)
         for ordinal, qclass in enumerate(mix):
             schedule.append(
@@ -177,7 +187,8 @@ class WorkloadEngine:
         network.install_faults(injector)
         monitoring.faults = injector
         for query_plan in launched:
-            query_plan.runtime.faults = injector
+            if query_plan.runtime is not None:
+                query_plan.runtime.faults = injector
         self._injector = injector
         injector.start()
 
@@ -186,12 +197,15 @@ class WorkloadEngine:
         spec = self.spec
         tracer = self.tracer
         schedule = build_schedule(spec)
+        sink = spec.build_metrics()
+        streaming = sink.mode == "streaming"
         if not schedule:
             return WorkloadResult(
                 spec=spec,
                 elapsed=0.0,
                 queries=[],
-                fleet=build_fleet_summary([], {}, 0.0, scheduled=0),
+                fleet=sink.summary(0.0, scheduled=0),
+                metrics=sink,
             )
 
         env = Environment()
@@ -204,8 +218,7 @@ class WorkloadEngine:
                 scheduled_queries=len(schedule),
             )
         network, monitoring = self._build_substrate(env)
-        usage = LinkUsageRecorder()
-        network.observers.append(usage.observe)
+        network.observers.append(sink.observe)
 
         # A lone query runs un-namespaced so its execution is
         # bit-identical to run_simulation (see the identity test).
@@ -214,10 +227,43 @@ class WorkloadEngine:
         all_done = env.event()
         pending = len(schedule)
 
+        def finalize(plan: QueryPlan, truncated: bool) -> None:
+            """Feed one query into the sink and release its runtime.
+
+            The streaming path calls this eagerly from the query's done
+            callback, so per-query state (runtime, network/monitor
+            accounting slices) is freed as the fleet progresses instead
+            of accumulating until the end of the run.
+            """
+            runtime = plan.runtime
+            if runtime is None:
+                return
+            metrics = runtime.finalize_metrics(truncated=truncated)
+            qid = plan.query_id
+            if tracer.enabled:
+                scoped = ScopedTracer(tracer, query_id=qid)
+                scoped.emit(
+                    RUN_END,
+                    env.now,
+                    truncated=metrics.truncated,
+                    images_delivered=len(metrics.arrival_times),
+                    completion_time=metrics.completion_time,
+                )
+            sink.query_finished(
+                QueryStats.from_metrics(
+                    qid, plan.scheduled.qclass.name, plan.issued_at, metrics
+                )
+            )
+            plan.runtime = None
+            network.query_stats.pop(qid, None)
+            monitoring.query_stats.pop(qid, None)
+
         def note_done(plan: QueryPlan) -> None:
             def _completed(_event) -> None:
                 nonlocal pending
                 pending -= 1
+                if streaming:
+                    finalize(plan, truncated=False)
                 if pending == 0 and not all_done.triggered:
                     all_done.succeed(env.now)
 
@@ -256,6 +302,7 @@ class WorkloadEngine:
             plan = QueryPlan(
                 scheduled=scheduled, runtime=runtime, issued_at=env.now
             )
+            sink.query_started(qid, scheduled.qclass.name, env.now)
             note_done(plan)
             launched.append(plan)
             return plan
@@ -322,45 +369,56 @@ class WorkloadEngine:
         env.run(until=stop)
 
         results: list[QueryResult] = []
-        outcomes: list[QueryOutcome] = []
-        for plan in launched:
-            runtime = plan.runtime
-            metrics = runtime.finalize_metrics(truncated=not runtime.finished)
-            if tracer.enabled:
-                scoped = ScopedTracer(tracer, query_id=plan.query_id)
-                scoped.emit(
-                    RUN_END,
-                    env.now,
-                    truncated=metrics.truncated,
-                    images_delivered=len(metrics.arrival_times),
-                    completion_time=metrics.completion_time,
+        if streaming:
+            # Completed queries were finalized eagerly; whatever is left
+            # hit the simulation-time wall.
+            for plan in launched:
+                runtime = plan.runtime
+                if runtime is not None:
+                    finalize(plan, truncated=not runtime.finished)
+        else:
+            for plan in launched:
+                runtime = plan.runtime
+                metrics = runtime.finalize_metrics(
+                    truncated=not runtime.finished
                 )
-            scheduled = plan.scheduled
-            results.append(
-                QueryResult(
-                    query_id=plan.query_id,
-                    client_index=scheduled.client_index,
-                    ordinal=scheduled.ordinal,
-                    class_name=scheduled.qclass.name,
-                    algorithm=scheduled.spec.algorithm.value,
-                    issued_at=plan.issued_at,
-                    metrics=metrics,
+                if tracer.enabled:
+                    scoped = ScopedTracer(tracer, query_id=plan.query_id)
+                    scoped.emit(
+                        RUN_END,
+                        env.now,
+                        truncated=metrics.truncated,
+                        images_delivered=len(metrics.arrival_times),
+                        completion_time=metrics.completion_time,
+                    )
+                scheduled = plan.scheduled
+                results.append(
+                    QueryResult(
+                        query_id=plan.query_id,
+                        client_index=scheduled.client_index,
+                        ordinal=scheduled.ordinal,
+                        class_name=scheduled.qclass.name,
+                        algorithm=scheduled.spec.algorithm.value,
+                        issued_at=plan.issued_at,
+                        metrics=metrics,
+                    )
                 )
-            )
-            outcomes.append(
-                QueryOutcome(
-                    query_id=plan.query_id,
-                    class_name=scheduled.qclass.name,
-                    issued_at=plan.issued_at,
-                    metrics=metrics,
+                sink.query_finished(
+                    QueryStats.from_metrics(
+                        plan.query_id,
+                        scheduled.qclass.name,
+                        plan.issued_at,
+                        metrics,
+                    )
                 )
-            )
 
-        fleet = build_fleet_summary(
-            outcomes, usage.links, env.now, scheduled=len(schedule)
-        )
+        fleet = sink.summary(env.now, scheduled=len(schedule))
         return WorkloadResult(
-            spec=spec, elapsed=env.now, queries=results, fleet=fleet
+            spec=spec,
+            elapsed=env.now,
+            queries=results,
+            fleet=fleet,
+            metrics=sink,
         )
 
 

@@ -10,38 +10,56 @@ per-link usage — into a schema-tagged summary dict:
 * relocations per query and per-link utilization/contention on the
   shared substrate.
 
-:func:`fleet_from_trace` rebuilds the identical summary from a recorded
-workload trace alone: per-query metrics replay through
-:func:`repro.obs.summary.query_records` +
-:meth:`~repro.engine.metrics.RunMetrics.from_trace`, link usage replays
-from the tagged ``link.transfer`` spans.  Both paths funnel through
-:func:`build_fleet_summary`, so live and replayed summaries are equal
-by construction whenever the trace is complete.
+Both the live engine and the :func:`fleet_from_trace` replay feed the
+:class:`~repro.workload.sink.MetricsSink` funnel; this module holds the
+exact (``workload_schema: 1``) summary construction the sink's exact
+path delegates to, plus the shared conventions (latency-block key set,
+Jain's index) the streaming schema-2 path reuses.  Small fleets are
+byte-identical to the pre-sink summaries; large fleets stream through
+:class:`~repro.workload.sink.StreamingFleetMetrics` instead of
+materializing per-query rows.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Optional, Sequence
+from typing import Any, Iterable, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.engine.metrics import RunMetrics
-from repro.obs.events import LINK_TRANSFER, RUN_END, RUN_META
-from repro.obs.summary import query_records
+from repro.workload.sink import (
+    DEFAULT_EXACT_THRESHOLD,
+    MetricsSink,
+    QueryStats,
+)
+from repro.workload.sink import fleet_from_trace as _sink_fleet_from_trace
 from repro.workload.spec import client_of
 
-#: Version tag carried by every fleet summary dict.
+#: Version tag carried by every exact fleet summary dict.
 WORKLOAD_SCHEMA = 1
 
+#: Version tag carried by streaming (sketch-based) fleet summaries.
+STREAMING_SCHEMA = 2
 
-def jain_index(values: Sequence[float]) -> float:
-    """Jain's fairness index over ``values`` (1.0 = perfectly fair)."""
-    xs = [float(v) for v in values]
+#: The latency block's key set — identical in both schemas, and emitted
+#: in full (``None``-valued) even for empty fleets.
+LATENCY_KEYS = ("count", "mean", "p50", "p95", "p99", "max")
+
+
+def jain_index(values: Sequence[Optional[float]]) -> float:
+    """Jain's fairness index over ``values`` (1.0 = perfectly fair).
+
+    ``None`` entries (clients with no completed queries) are skipped;
+    degenerate inputs — empty, all-zero, or non-finite — fall back to
+    1.0 rather than dividing by a zero or NaN square sum.
+    """
+    xs = [float(v) for v in values if v is not None]
     if not xs:
         return 1.0
     square_sum = sum(v * v for v in xs)
-    if square_sum == 0.0:
+    if square_sum == 0.0 or not math.isfinite(square_sum):
         return 1.0
     total = sum(xs)
     return (total * total) / (len(xs) * square_sum)
@@ -105,11 +123,16 @@ class QueryOutcome:
             return None
         return self.metrics.completion_time - self.issued_at
 
+    def stats(self) -> QueryStats:
+        """The flat :class:`~repro.workload.sink.QueryStats` view."""
+        return QueryStats.from_metrics(
+            self.query_id, self.class_name, self.issued_at, self.metrics
+        )
+
 
 def _latency_block(latencies: Sequence[float]) -> dict[str, Any]:
     if not latencies:
-        return {"count": 0, "mean": None, "p50": None, "p95": None,
-                "p99": None, "max": None}
+        return {key: (0 if key == "count" else None) for key in LATENCY_KEYS}
     arr = np.asarray(latencies, dtype=float)
     return {
         "count": int(arr.size),
@@ -122,28 +145,32 @@ def _latency_block(latencies: Sequence[float]) -> dict[str, Any]:
 
 
 def build_fleet_summary(
-    outcomes: Sequence[QueryOutcome],
+    outcomes: Sequence[Union[QueryOutcome, QueryStats]],
     links: dict[tuple[str, str], LinkUsage],
     elapsed: float,
     scheduled: Optional[int] = None,
 ) -> dict[str, Any]:
-    """The fleet summary dict (``"workload_schema": 1``).
+    """The exact fleet summary dict (``"workload_schema": 1``).
 
-    ``outcomes`` must be in launch order; ``scheduled`` is the number of
-    queries the workload *planned* (closed-loop sessions truncated by
-    ``max_sim_time`` may launch fewer).
+    ``outcomes`` must be in launch order (:class:`QueryOutcome` entries
+    are converted to their :class:`QueryStats` view); ``scheduled`` is
+    the number of queries the workload *planned* (closed-loop sessions
+    truncated by ``max_sim_time`` may launch fewer).
     """
-    latencies = [o.latency for o in outcomes if o.latency is not None]
+    stats = [
+        o.stats() if isinstance(o, QueryOutcome) else o for o in outcomes
+    ]
+    latencies = [s.latency for s in stats if s.latency is not None]
     per_client: dict[str, dict[str, Any]] = {}
-    for outcome in outcomes:
-        client = client_of(outcome.query_id)
+    for s in stats:
+        client = client_of(s.query_id)
         bucket = per_client.setdefault(
             client, {"queries": 0, "completed": 0, "latencies": []}
         )
         bucket["queries"] += 1
-        if outcome.latency is not None:
+        if s.latency is not None:
             bucket["completed"] += 1
-            bucket["latencies"].append(outcome.latency)
+            bucket["latencies"].append(s.latency)
     client_means = []
     for client in sorted(per_client):
         bucket = per_client[client]
@@ -154,7 +181,7 @@ def build_fleet_summary(
         if bucket["mean_latency"] is not None:
             client_means.append(bucket["mean_latency"])
 
-    relocations = sum(o.metrics.relocations for o in outcomes)
+    relocations = sum(s.relocations for s in stats)
     link_block: dict[str, Any] = {}
     for (a, b), usage in sorted(links.items()):
         link_block[f"{a}--{b}"] = {
@@ -170,81 +197,50 @@ def build_fleet_summary(
     return {
         "workload_schema": WORKLOAD_SCHEMA,
         "elapsed": elapsed,
-        "scheduled": len(outcomes) if scheduled is None else scheduled,
-        "launched": len(outcomes),
-        "completed": sum(1 for o in outcomes if o.finished),
-        "truncated": sum(1 for o in outcomes if not o.finished),
+        "scheduled": len(stats) if scheduled is None else scheduled,
+        "launched": len(stats),
+        "completed": sum(1 for s in stats if s.finished),
+        "truncated": sum(1 for s in stats if not s.finished),
         "latency": _latency_block(latencies),
         "fairness_jain": jain_index(client_means),
         "relocations": {
             "total": relocations,
-            "per_query_mean": (relocations / len(outcomes)) if outcomes else 0.0,
-            "aborted": sum(o.metrics.aborted_relocations for o in outcomes),
+            "per_query_mean": (relocations / len(stats)) if stats else 0.0,
+            "aborted": sum(s.aborted_relocations for s in stats),
         },
-        "bytes_on_wire": sum(o.metrics.bytes_on_wire for o in outcomes),
+        "bytes_on_wire": sum(s.bytes_on_wire for s in stats),
         "links": link_block,
         "per_client": per_client,
         "queries": [
             {
-                "query_id": o.query_id,
-                "class": o.class_name,
-                "algorithm": o.metrics.algorithm,
-                "issued_at": o.issued_at,
-                "latency": o.latency,
-                "completion_time": (
-                    o.metrics.completion_time if o.metrics.arrival_times else None
-                ),
-                "truncated": o.metrics.truncated,
-                "images_delivered": len(o.metrics.arrival_times),
-                "relocations": o.metrics.relocations,
-                "bytes_on_wire": o.metrics.bytes_on_wire,
+                "query_id": s.query_id,
+                "class": s.class_name,
+                "algorithm": s.algorithm,
+                "issued_at": s.issued_at,
+                "latency": s.latency,
+                "completion_time": s.completion_time,
+                "truncated": s.truncated,
+                "images_delivered": s.images_delivered,
+                "relocations": s.relocations,
+                "bytes_on_wire": s.bytes_on_wire,
             }
-            for o in outcomes
+            for s in stats
         ],
     }
 
 
-def fleet_from_trace(records: Iterable[dict[str, Any]]) -> dict[str, Any]:
+def fleet_from_trace(
+    records: Iterable[dict[str, Any]],
+    metrics: Optional[MetricsSink] = None,
+    *,
+    exact_threshold: int = DEFAULT_EXACT_THRESHOLD,
+) -> dict[str, Any]:
     """Rebuild the fleet summary from a recorded workload trace.
 
-    Accepts the full JSONL record list (header/footer frames ignored).
-    Queries are discovered from their tagged ``run.meta`` events, in
-    launch order; per-query metrics replay bit-exactly through
-    :meth:`RunMetrics.from_trace` on the query's record slice.
+    Kept here for backwards compatibility; the implementation lives in
+    :func:`repro.workload.sink.fleet_from_trace`, which picks the same
+    exact/streaming sink the live run would have used.
     """
-    events = [r for r in records if "type" in r]
-    order: list[str] = []
-    issued: dict[str, float] = {}
-    class_names: dict[str, str] = {}
-    elapsed = 0.0
-    for record in events:
-        qid = record.get("query_id")
-        if record["type"] == RUN_META and qid is not None and qid not in issued:
-            order.append(qid)
-            issued[qid] = record["t"]
-            class_names[qid] = record.get("query_class", record["algorithm"])
-        elif record["type"] == RUN_END:
-            elapsed = max(elapsed, record["t"])
-
-    outcomes = [
-        QueryOutcome(
-            query_id=qid,
-            class_name=class_names[qid],
-            issued_at=issued[qid],
-            metrics=RunMetrics.from_trace(query_records(events, qid)),
-        )
-        for qid in order
-    ]
-
-    links: dict[tuple[str, str], LinkUsage] = {}
-    for record in events:
-        if record["type"] != LINK_TRANSFER:
-            continue
-        a, b = record["src_host"], record["dst_host"]
-        key = (a, b) if a < b else (b, a)
-        usage = links.get(key)
-        if usage is None:
-            usage = links[key] = LinkUsage()
-        usage.note(record["wire_bytes"], record["dur"], record.get("query_id"))
-
-    return build_fleet_summary(outcomes, links, elapsed)
+    return _sink_fleet_from_trace(
+        records, metrics, exact_threshold=exact_threshold
+    )

@@ -1,0 +1,712 @@
+"""The MetricsSink funnel: one API for live and replayed fleet metrics.
+
+Before this module the live :class:`~repro.workload.engine.WorkloadEngine`
+and the :func:`fleet_from_trace` replay were parallel constructions that
+could drift.  Now both feed one protocol:
+
+* :meth:`MetricsSink.query_started` when a query launches,
+* :meth:`MetricsSink.query_finished` with its :class:`QueryStats`,
+* :meth:`MetricsSink.link_transfer` for every wire transfer,
+* :meth:`MetricsSink.summary` to produce the fleet summary dict, and
+* :meth:`MetricsSink.merge` to fold sinks from sharded runs together.
+
+Two implementations sit behind the protocol, chosen by
+:func:`fleet_metrics_for`:
+
+:class:`ExactFleetMetrics` (``workload_schema: 1``)
+    Stores every :class:`QueryStats` and funnels into
+    :func:`~repro.workload.metrics.build_fleet_summary` — byte-identical
+    to the pre-sink summaries, used below the exactness threshold.
+
+:class:`StreamingFleetMetrics` (``workload_schema: 2``)
+    O(classes + links + clients) memory regardless of query count:
+    latency percentiles come from mergeable
+    :class:`~repro.workload.sketch.QuantileSketch` histograms (fleet and
+    per class), per-client accounting is two flat arrays (exact count
+    and latency sum per client, enough for Jain fairness), link usage is
+    bounded counters with per-*class* byte attribution, and
+    ``bytes_on_wire`` is the link-observed total (each wire transfer
+    counted once) rather than the per-query metric sum.
+
+Merging either implementation is order-invariant: integer counts add,
+float totals go through :class:`~repro.workload.sketch.OrderFreeSum`,
+and the exact path re-sorts its stats into canonical (issue time,
+client, ordinal) order once any merge has happened.  Shards are expected
+to partition *clients* (see :func:`repro.workload.sweep.shard_clients`),
+which keeps per-query and per-client attributions disjoint across
+shards.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Optional, Protocol, Sequence
+
+import numpy as np
+
+from repro.engine.metrics import RunMetrics
+from repro.obs.events import (
+    LINK_TRANSFER,
+    RELOCATION,
+    RELOCATION_ABORT,
+    RUN_END,
+    RUN_META,
+)
+from repro.obs.summary import query_records
+from repro.workload.sketch import OrderFreeSum, QuantileSketch
+from repro.workload.spec import client_of
+
+#: Fleets scheduling at most this many queries default to the exact
+#: (schema-1) metrics path; larger fleets stream (schema 2).
+DEFAULT_EXACT_THRESHOLD = 1000
+
+#: Default sketch accuracy for the streaming path (1% relative error).
+DEFAULT_RELATIVE_ERROR = 0.01
+
+#: Record types that are trace framing, not simulation events.
+_FRAME_TYPES = frozenset({"trace.header", "trace.footer", "trace.segment"})
+
+
+def client_index_of(query_id: str) -> int:
+    """The integer client index encoded in a ``"c{i}:{ordinal}"`` id."""
+    return int(query_id.split(":", 1)[0][1:])
+
+
+def _stats_sort_key(stats: "QueryStats") -> tuple[float, int, int]:
+    head, _, tail = stats.query_id.partition(":")
+    return (stats.issued_at, int(head[1:]), int(tail or 0))
+
+
+@dataclass(frozen=True)
+class QueryStats:
+    """One query's finished contribution, decoupled from RunMetrics.
+
+    This is the record that crosses the sink API (and process pipes in
+    sharded runs): small, flat and picklable, carrying exactly the
+    fields the fleet summary needs.
+    """
+
+    query_id: str
+    class_name: str
+    algorithm: str
+    issued_at: float
+    #: Last arrival instant; ``None`` when nothing arrived.
+    completion_time: Optional[float]
+    images_delivered: int
+    truncated: bool
+    relocations: int
+    aborted_relocations: int
+    bytes_on_wire: float
+
+    @property
+    def finished(self) -> bool:
+        return not self.truncated
+
+    @property
+    def latency(self) -> Optional[float]:
+        if self.truncated or self.completion_time is None:
+            return None
+        return self.completion_time - self.issued_at
+
+    @classmethod
+    def from_metrics(
+        cls,
+        query_id: str,
+        class_name: str,
+        issued_at: float,
+        metrics: RunMetrics,
+    ) -> "QueryStats":
+        return cls(
+            query_id=query_id,
+            class_name=class_name,
+            algorithm=metrics.algorithm,
+            issued_at=issued_at,
+            completion_time=(
+                metrics.completion_time if metrics.arrival_times else None
+            ),
+            images_delivered=len(metrics.arrival_times),
+            truncated=metrics.truncated,
+            relocations=metrics.relocations,
+            aborted_relocations=metrics.aborted_relocations,
+            bytes_on_wire=metrics.bytes_on_wire,
+        )
+
+
+class MetricsSink(Protocol):
+    """What the engine and the replay reader feed fleet metrics through."""
+
+    #: ``"exact"`` or ``"streaming"``; also tags the summary dict.
+    mode: str
+
+    def query_started(
+        self, query_id: str, class_name: str, issued_at: float
+    ) -> None: ...
+
+    def query_finished(self, stats: QueryStats) -> None: ...
+
+    def link_transfer(
+        self,
+        src_host: str,
+        dst_host: str,
+        wire_bytes: float,
+        busy_seconds: float,
+        query_id: Optional[str] = None,
+    ) -> None: ...
+
+    def merge(self, other: "MetricsSink") -> "MetricsSink": ...
+
+    def summary(
+        self, elapsed: float, scheduled: Optional[int] = None
+    ) -> dict[str, Any]: ...
+
+
+class _FleetMetricsBase:
+    """Shared plumbing: network-observer adapter and order-free folding."""
+
+    def observe(self, observation) -> None:
+        """Adapter matching the :class:`~repro.net.network.Network`
+        observer signature."""
+        self.link_transfer(
+            observation.src_host,
+            observation.dst_host,
+            observation.wire_bytes,
+            observation.finished - observation.started,
+            observation.query_id,
+        )
+
+    @staticmethod
+    def merged(parts: "Sequence[MetricsSink]") -> "MetricsSink":
+        """Fold non-empty ``parts`` into the first one, in given order.
+
+        Because every sink merge is order-invariant, any permutation of
+        ``parts`` produces an identical sink (pinned by tests).
+        """
+        if not parts:
+            raise ValueError("merged() needs at least one sink")
+        head = parts[0]
+        for other in parts[1:]:
+            head.merge(other)
+        return head
+
+
+class _LinkAccumulator:
+    """Per-link counters whose float totals merge order-invariantly."""
+
+    __slots__ = ("bytes", "busy_seconds", "transfers", "attributed")
+
+    def __init__(self) -> None:
+        self.bytes = OrderFreeSum()
+        self.busy_seconds = OrderFreeSum()
+        self.transfers = 0
+        #: Attribution key (query id or class name) -> bytes.  Keys are
+        #: expected to be shard-disjoint (client-hash sharding), so the
+        #: per-key floats are plain sums.
+        self.attributed: dict[str, float] = {}
+
+    def note(
+        self, wire_bytes: float, seconds: float, key: Optional[str]
+    ) -> None:
+        self.bytes.add(wire_bytes)
+        self.busy_seconds.add(seconds)
+        self.transfers += 1
+        if key is not None:
+            self.attributed[key] = self.attributed.get(key, 0.0) + wire_bytes
+
+    def merge(self, other: "_LinkAccumulator") -> None:
+        self.bytes.merge(other.bytes)
+        self.busy_seconds.merge(other.busy_seconds)
+        self.transfers += other.transfers
+        for key, value in other.attributed.items():
+            self.attributed[key] = self.attributed.get(key, 0.0) + value
+
+
+class ExactFleetMetrics(_FleetMetricsBase):
+    """The exact (schema-1) sink: keeps every QueryStats.
+
+    Summaries are byte-identical to the pre-sink implementation for
+    unmerged (single-process) runs; once shards have been merged the
+    stats re-sort into canonical issue order so the result is the same
+    whichever order the shards arrived in.
+    """
+
+    mode = "exact"
+
+    def __init__(self) -> None:
+        self._stats: list[QueryStats] = []
+        self._links: dict[tuple[str, str], _LinkAccumulator] = {}
+        self._was_merged = False
+
+    def query_started(
+        self, query_id: str, class_name: str, issued_at: float
+    ) -> None:
+        pass  # launch order is implied by query_finished order
+
+    def query_finished(self, stats: QueryStats) -> None:
+        self._stats.append(stats)
+
+    def link_transfer(
+        self,
+        src_host: str,
+        dst_host: str,
+        wire_bytes: float,
+        busy_seconds: float,
+        query_id: Optional[str] = None,
+    ) -> None:
+        key = (
+            (src_host, dst_host)
+            if src_host < dst_host
+            else (dst_host, src_host)
+        )
+        usage = self._links.get(key)
+        if usage is None:
+            usage = self._links[key] = _LinkAccumulator()
+        usage.note(wire_bytes, busy_seconds, query_id)
+
+    def merge(self, other: "ExactFleetMetrics") -> "ExactFleetMetrics":
+        if not isinstance(other, ExactFleetMetrics):
+            raise TypeError(
+                f"cannot merge {type(other).__name__} into ExactFleetMetrics"
+            )
+        self._stats.extend(other._stats)
+        for key, usage in other._links.items():
+            mine = self._links.get(key)
+            if mine is None:
+                self._links[key] = usage
+            else:
+                mine.merge(usage)
+        self._was_merged = True
+        return self
+
+    @property
+    def stats(self) -> tuple[QueryStats, ...]:
+        return tuple(self._stats)
+
+    def summary(
+        self, elapsed: float, scheduled: Optional[int] = None
+    ) -> dict[str, Any]:
+        from repro.workload.metrics import LinkUsage, build_fleet_summary
+
+        stats = self._stats
+        if self._was_merged:
+            stats = sorted(stats, key=_stats_sort_key)
+        links: dict[tuple[str, str], LinkUsage] = {}
+        for key in sorted(self._links):
+            acc = self._links[key]
+            links[key] = LinkUsage(
+                bytes=acc.bytes.value,
+                busy_seconds=acc.busy_seconds.value,
+                transfers=acc.transfers,
+                by_query=dict(acc.attributed),
+            )
+        return build_fleet_summary(stats, links, elapsed, scheduled=scheduled)
+
+
+class _ClassStats:
+    """Per-query-class streaming counters."""
+
+    __slots__ = ("launched", "completed", "truncated", "sketch")
+
+    def __init__(self, relative_error: float) -> None:
+        self.launched = 0
+        self.completed = 0
+        self.truncated = 0
+        self.sketch = QuantileSketch(relative_error)
+
+    def merge(self, other: "_ClassStats") -> None:
+        self.launched += other.launched
+        self.completed += other.completed
+        self.truncated += other.truncated
+        self.sketch.merge(other.sketch)
+
+
+class StreamingFleetMetrics(_FleetMetricsBase):
+    """The streaming (schema-2) sink: flat memory in the query count.
+
+    State is O(classes + links + clients): quantile sketches for the
+    fleet and each class, two flat per-client arrays (completed count
+    and latency sum — exact client means for Jain fairness), bounded
+    per-link counters with per-class byte attribution, and a small
+    in-flight map (query id -> class) that empties as queries finish.
+    """
+
+    mode = "streaming"
+
+    def __init__(
+        self,
+        num_clients: int,
+        relative_error: float = DEFAULT_RELATIVE_ERROR,
+    ) -> None:
+        if num_clients < 0:
+            raise ValueError("num_clients must be non-negative")
+        self.num_clients = int(num_clients)
+        self.relative_error = float(relative_error)
+        self._fleet = QuantileSketch(self.relative_error)
+        self._classes: dict[str, _ClassStats] = {}
+        self._client_launched = np.zeros(self.num_clients, dtype=np.int64)
+        self._client_completed = np.zeros(self.num_clients, dtype=np.int64)
+        self._client_latency_sum = np.zeros(self.num_clients, dtype=np.float64)
+        self._launched = 0
+        self._completed = 0
+        self._truncated = 0
+        self._relocations = 0
+        self._aborted_relocations = 0
+        self._links: dict[tuple[str, str], _LinkAccumulator] = {}
+        self._inflight: dict[str, str] = {}
+
+    def _class(self, name: str) -> _ClassStats:
+        stats = self._classes.get(name)
+        if stats is None:
+            stats = self._classes[name] = _ClassStats(self.relative_error)
+        return stats
+
+    def query_started(
+        self, query_id: str, class_name: str, issued_at: float
+    ) -> None:
+        self._launched += 1
+        self._class(class_name).launched += 1
+        self._client_launched[client_index_of(query_id)] += 1
+        self._inflight[query_id] = class_name
+
+    def query_finished(self, stats: QueryStats) -> None:
+        self._inflight.pop(stats.query_id, None)
+        cls = self._class(stats.class_name)
+        if stats.truncated:
+            self._truncated += 1
+            cls.truncated += 1
+        else:
+            self._completed += 1
+            cls.completed += 1
+        latency = stats.latency
+        if latency is not None:
+            self._fleet.add(latency)
+            cls.sketch.add(latency)
+            index = client_index_of(stats.query_id)
+            self._client_completed[index] += 1
+            self._client_latency_sum[index] += latency
+        self._relocations += stats.relocations
+        self._aborted_relocations += stats.aborted_relocations
+
+    def link_transfer(
+        self,
+        src_host: str,
+        dst_host: str,
+        wire_bytes: float,
+        busy_seconds: float,
+        query_id: Optional[str] = None,
+    ) -> None:
+        key = (
+            (src_host, dst_host)
+            if src_host < dst_host
+            else (dst_host, src_host)
+        )
+        usage = self._links.get(key)
+        if usage is None:
+            usage = self._links[key] = _LinkAccumulator()
+        class_name = (
+            self._inflight.get(query_id) if query_id is not None else None
+        )
+        usage.note(wire_bytes, busy_seconds, class_name)
+
+    def merge(self, other: "StreamingFleetMetrics") -> "StreamingFleetMetrics":
+        if not isinstance(other, StreamingFleetMetrics):
+            raise TypeError(
+                f"cannot merge {type(other).__name__} into "
+                "StreamingFleetMetrics"
+            )
+        if other.num_clients != self.num_clients:
+            raise ValueError(
+                "cannot merge sinks over different client populations: "
+                f"{self.num_clients} vs {other.num_clients}"
+            )
+        if other.relative_error != self.relative_error:
+            raise ValueError(
+                "cannot merge sinks with different sketch accuracy: "
+                f"{self.relative_error} vs {other.relative_error}"
+            )
+        self._fleet.merge(other._fleet)
+        for name, cls in other._classes.items():
+            mine = self._classes.get(name)
+            if mine is None:
+                self._classes[name] = cls
+            else:
+                mine.merge(cls)
+        self._client_launched += other._client_launched
+        self._client_completed += other._client_completed
+        self._client_latency_sum += other._client_latency_sum
+        self._launched += other._launched
+        self._completed += other._completed
+        self._truncated += other._truncated
+        self._relocations += other._relocations
+        self._aborted_relocations += other._aborted_relocations
+        for key, usage in other._links.items():
+            mine_link = self._links.get(key)
+            if mine_link is None:
+                self._links[key] = usage
+            else:
+                mine_link.merge(usage)
+        self._inflight.update(other._inflight)
+        return self
+
+    def _sketch_block(self, sketch: QuantileSketch) -> dict[str, Any]:
+        return {
+            "count": sketch.count,
+            "mean": sketch.mean,
+            "p50": sketch.percentile(50),
+            "p95": sketch.percentile(95),
+            "p99": sketch.percentile(99),
+            "max": sketch.max,
+        }
+
+    def summary(
+        self, elapsed: float, scheduled: Optional[int] = None
+    ) -> dict[str, Any]:
+        from repro.workload.metrics import STREAMING_SCHEMA, jain_index
+
+        mask = self._client_completed > 0
+        client_means = (
+            self._client_latency_sum[mask] / self._client_completed[mask]
+        )
+        link_block: dict[str, Any] = {}
+        for (a, b) in sorted(self._links):
+            usage = self._links[(a, b)]
+            busy = usage.busy_seconds.value
+            link_block[f"{a}--{b}"] = {
+                "bytes": usage.bytes.value,
+                "busy_seconds": busy,
+                "transfers": usage.transfers,
+                "utilization": (busy / elapsed) if elapsed > 0 else 0.0,
+                "classes": {
+                    name: usage.attributed[name]
+                    for name in sorted(usage.attributed)
+                },
+            }
+        bytes_on_wire = math.fsum(
+            self._links[key].bytes.value for key in sorted(self._links)
+        )
+        return {
+            "workload_schema": STREAMING_SCHEMA,
+            "mode": self.mode,
+            "relative_error": self.relative_error,
+            "elapsed": elapsed,
+            "scheduled": self._launched if scheduled is None else scheduled,
+            "launched": self._launched,
+            "completed": self._completed,
+            "truncated": self._truncated,
+            "latency": self._sketch_block(self._fleet),
+            "fairness_jain": jain_index(client_means.tolist()),
+            "per_class": {
+                name: {
+                    "launched": cls.launched,
+                    "completed": cls.completed,
+                    "truncated": cls.truncated,
+                    "latency": self._sketch_block(cls.sketch),
+                }
+                for name, cls in sorted(self._classes.items())
+            },
+            "clients": {
+                "total": self.num_clients,
+                "active": int((self._client_launched > 0).sum()),
+            },
+            "relocations": {
+                "total": self._relocations,
+                "per_query_mean": (
+                    (self._relocations / self._launched)
+                    if self._launched
+                    else 0.0
+                ),
+                "aborted": self._aborted_relocations,
+            },
+            "bytes_on_wire": bytes_on_wire,
+            "links": link_block,
+        }
+
+
+def fleet_metrics_for(
+    *,
+    scheduled: int,
+    num_clients: int,
+    mode: Optional[str] = None,
+    exact_threshold: int = DEFAULT_EXACT_THRESHOLD,
+    relative_error: float = DEFAULT_RELATIVE_ERROR,
+) -> MetricsSink:
+    """The sink for a fleet: exact below the threshold, streaming above.
+
+    ``mode`` forces ``"exact"`` or ``"streaming"`` regardless of size;
+    ``None`` selects by ``scheduled <= exact_threshold``.
+    """
+    if mode not in (None, "exact", "streaming"):
+        raise ValueError(f"unknown metrics mode {mode!r}")
+    if mode == "exact" or (mode is None and scheduled <= exact_threshold):
+        return ExactFleetMetrics()
+    return StreamingFleetMetrics(num_clients, relative_error=relative_error)
+
+
+def merge_sinks(parts: Sequence[MetricsSink]) -> MetricsSink:
+    """Fold shard sinks into one; the result is order-invariant."""
+    return _FleetMetricsBase.merged(parts)
+
+
+# -- replay ------------------------------------------------------------
+
+
+def _peek_header(
+    records: Iterable[dict[str, Any]],
+) -> tuple[dict[str, Any], Iterator[dict[str, Any]]]:
+    """The trace-header meta (``{}`` if absent) and a rewound iterator."""
+    iterator = iter(records)
+    first = next(iterator, None)
+    if first is None:
+        return {}, iter(())
+
+    def rewound() -> Iterator[dict[str, Any]]:
+        yield first
+        yield from iterator
+
+    meta = (
+        first.get("meta", {})
+        if first.get("type") in ("trace.header", "trace.segment")
+        else {}
+    )
+    return meta, rewound()
+
+
+def _replay_exact(
+    metrics: ExactFleetMetrics, events: list[dict[str, Any]]
+) -> float:
+    """The original exact replay, funneled through the sink.
+
+    Queries are discovered from tagged ``run.meta`` events in launch
+    order; each one's metrics replay bit-exactly through
+    :meth:`RunMetrics.from_trace` on its record slice.
+    """
+    order: list[str] = []
+    issued: dict[str, float] = {}
+    class_names: dict[str, str] = {}
+    elapsed = 0.0
+    for record in events:
+        qid = record.get("query_id")
+        if record["type"] == RUN_META and qid is not None and qid not in issued:
+            order.append(qid)
+            issued[qid] = record["t"]
+            class_names[qid] = record.get("query_class", record["algorithm"])
+        elif record["type"] == RUN_END:
+            elapsed = max(elapsed, record["t"])
+    for qid in order:
+        metrics.query_started(qid, class_names[qid], issued[qid])
+        metrics.query_finished(
+            QueryStats.from_metrics(
+                qid,
+                class_names[qid],
+                issued[qid],
+                RunMetrics.from_trace(query_records(events, qid)),
+            )
+        )
+    for record in events:
+        if record["type"] != LINK_TRANSFER:
+            continue
+        metrics.link_transfer(
+            record["src_host"],
+            record["dst_host"],
+            record["wire_bytes"],
+            record["dur"],
+            record.get("query_id"),
+        )
+    return elapsed
+
+
+def _replay_streaming(
+    metrics: StreamingFleetMetrics, records: Iterable[dict[str, Any]]
+) -> tuple[float, int]:
+    """Single-pass bounded-memory replay; returns (elapsed, orphans).
+
+    In-flight state is one small record per *open* query, so replaying a
+    day-long trace needs memory proportional to concurrency, not length.
+    Orphan ``run.end`` events — whose ``run.meta`` lived in a rotated-away
+    segment — are skipped and counted.
+    """
+    inflight: dict[str, tuple[str, str, float]] = {}
+    relocations: dict[str, int] = {}
+    aborted: dict[str, int] = {}
+    elapsed = 0.0
+    orphans = 0
+    for record in records:
+        rtype = record.get("type")
+        if rtype is None or rtype in _FRAME_TYPES:
+            continue
+        qid = record.get("query_id")
+        if rtype == RUN_META:
+            if qid is None or qid in inflight:
+                continue
+            class_name = record.get("query_class", record["algorithm"])
+            inflight[qid] = (class_name, record["algorithm"], record["t"])
+            metrics.query_started(qid, class_name, record["t"])
+        elif rtype == RUN_END:
+            elapsed = max(elapsed, record["t"])
+            opened = inflight.pop(qid, None) if qid is not None else None
+            if opened is None:
+                orphans += 1
+                continue
+            class_name, algorithm, issued_at = opened
+            metrics.query_finished(
+                QueryStats(
+                    query_id=qid,
+                    class_name=class_name,
+                    algorithm=algorithm,
+                    issued_at=issued_at,
+                    completion_time=record.get("completion_time"),
+                    images_delivered=record.get("images_delivered", 0),
+                    truncated=record.get("truncated", False),
+                    relocations=relocations.pop(qid, 0),
+                    aborted_relocations=aborted.pop(qid, 0),
+                    bytes_on_wire=0.0,
+                )
+            )
+        elif rtype == LINK_TRANSFER:
+            metrics.link_transfer(
+                record["src_host"],
+                record["dst_host"],
+                record["wire_bytes"],
+                record["dur"],
+                qid,
+            )
+        elif rtype == RELOCATION and qid is not None:
+            relocations[qid] = relocations.get(qid, 0) + 1
+        elif rtype == RELOCATION_ABORT and qid is not None:
+            aborted[qid] = aborted.get(qid, 0) + 1
+    return elapsed, orphans
+
+
+def fleet_from_trace(
+    records: Iterable[dict[str, Any]],
+    metrics: Optional[MetricsSink] = None,
+    *,
+    exact_threshold: int = DEFAULT_EXACT_THRESHOLD,
+) -> dict[str, Any]:
+    """Rebuild the fleet summary from a recorded workload trace.
+
+    Accepts a record list or a lazy record stream (e.g.
+    :func:`repro.obs.rotating.read_segments`); header/footer/segment
+    frames are ignored.  The sink is chosen exactly as for the live run:
+    the trace header's ``scheduled_queries`` meta against
+    ``exact_threshold`` (no header or a small fleet means the exact
+    path, whose summary is byte-identical to the live schema-1 one for
+    complete traces).  Pass ``metrics`` to force a particular sink.
+    """
+    meta, stream = _peek_header(records)
+    if metrics is None:
+        scheduled_meta = meta.get("scheduled_queries")
+        if (
+            scheduled_meta is not None
+            and scheduled_meta > exact_threshold
+            and meta.get("num_clients") is not None
+        ):
+            metrics = StreamingFleetMetrics(meta["num_clients"])
+        else:
+            metrics = ExactFleetMetrics()
+    if isinstance(metrics, StreamingFleetMetrics):
+        elapsed, _ = _replay_streaming(metrics, stream)
+        return metrics.summary(elapsed, scheduled=meta.get("scheduled_queries"))
+    events = [r for r in stream if "type" in r]
+    elapsed = _replay_exact(metrics, events)
+    return metrics.summary(elapsed)

@@ -132,6 +132,19 @@ class WorkloadSpec:
     #: Kernel fast path for fault-free transfers (see
     #: :attr:`repro.engine.config.SimulationSpec.fluid_fast_path`).
     fluid_fast_path: bool = True
+    #: Restrict the schedule to these client indices (one shard of the
+    #: full ``num_clients`` population).  Seeds, query ids and arrival
+    #: streams stay those of the full run; ``None`` schedules everyone.
+    client_subset: Optional[tuple[int, ...]] = None
+    #: ``None`` picks exact metrics for small fleets and streaming
+    #: sketches above ``exact_metrics_threshold``; ``"exact"`` or
+    #: ``"streaming"`` forces one path.
+    metrics_mode: Optional[str] = None
+    #: Largest scheduled-query count still summarized exactly
+    #: (``workload_schema: 1``) when ``metrics_mode`` is ``None``.
+    exact_metrics_threshold: int = 1000
+    #: Relative error bound of the streaming quantile sketches.
+    metrics_relative_error: float = 0.01
 
     def __post_init__(self) -> None:
         if not self.classes:
@@ -156,6 +169,24 @@ class WorkloadSpec:
                 )
         if self.server_hosts_override is not None and self.link_traces is None:
             raise ValueError("server_hosts_override requires explicit link_traces")
+        if self.client_subset is not None:
+            subset = tuple(sorted({int(i) for i in self.client_subset}))
+            for index in subset:
+                if not (0 <= index < self.num_clients):
+                    raise ValueError(
+                        f"client_subset index {index} outside the "
+                        f"0..{self.num_clients - 1} population"
+                    )
+            object.__setattr__(self, "client_subset", subset)
+        if self.metrics_mode not in (None, "exact", "streaming"):
+            raise ValueError(
+                f"metrics_mode must be None, 'exact' or 'streaming', "
+                f"got {self.metrics_mode!r}"
+            )
+        if self.exact_metrics_threshold < 0:
+            raise ValueError("exact_metrics_threshold must be >= 0")
+        if not (0.0 < self.metrics_relative_error < 1.0):
+            raise ValueError("metrics_relative_error must be in (0, 1)")
 
     # ---- derived ------------------------------------------------------
     @property
@@ -169,8 +200,32 @@ class WorkloadSpec:
         return (*self.server_hosts, self.client_host)
 
     @property
+    def client_indices(self) -> tuple[int, ...]:
+        """The client indices this spec actually schedules."""
+        if self.client_subset is not None:
+            return self.client_subset
+        return tuple(range(self.num_clients))
+
+    @property
     def total_queries(self) -> int:
-        return self.num_clients * self.queries_per_client
+        return len(self.client_indices) * self.queries_per_client
+
+    def build_metrics(self):
+        """The :class:`~repro.workload.sink.MetricsSink` for this fleet.
+
+        Chosen by ``metrics_mode`` / ``exact_metrics_threshold``; sinks
+        of shards built from the same spec are mutually mergeable.
+        """
+        # Imported lazily: repro.workload.sink imports this module.
+        from repro.workload.sink import fleet_metrics_for
+
+        return fleet_metrics_for(
+            scheduled=self.total_queries,
+            num_clients=self.num_clients,
+            mode=self.metrics_mode,
+            exact_threshold=self.exact_metrics_threshold,
+            relative_error=self.metrics_relative_error,
+        )
 
     def resolve_links(self) -> Mapping[tuple[str, str], BandwidthTrace]:
         """The shared network's trace per canonical host pair."""

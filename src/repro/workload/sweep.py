@@ -1,4 +1,4 @@
-"""Parallel execution of workload batches.
+"""Parallel execution of workload batches and sharded fleets.
 
 Mirrors :mod:`repro.experiments.parallel`: a batch of named
 :class:`~repro.workload.spec.WorkloadSpec` tasks fans out over a
@@ -7,6 +7,18 @@ results to the serial loop — every workload is a pure function of its
 spec, results are re-assembled in task order, and platforms without
 process pools silently degrade to the serial path.
 
+Beyond per-task parallelism, one *fleet* can itself be sharded across
+processes by client hash (:func:`shard_clients` /
+:func:`run_workload_sharded`): each shard runs the sub-population's
+queries on its own substrate and ships its mergeable
+:class:`~repro.workload.sink.MetricsSink` back, and the merged summary
+is identical whichever order the shards arrive in (the sinks' merges
+are order-invariant by construction).  Sharding trades away cross-shard
+network contention — clients in different shards no longer compete for
+the same links — in exchange for memory and wall-clock that scale with
+``population / shards``; it is the intended path once a fleet outgrows
+one process.
+
 Specs whose ``library`` is ``None`` rebuild the trace study inside each
 worker from ``study_seed`` (cached per process), so the ~66-pair trace
 library never crosses a pipe per task.
@@ -14,14 +26,117 @@ library never crosses a pipe per task.
 
 from __future__ import annotations
 
+import zlib
+from dataclasses import replace
 from typing import Any, Callable, Optional, Sequence
 
 from repro.experiments.parallel import _POOL_UNAVAILABLE, resolve_workers
-from repro.workload.engine import run_workload
+from repro.workload.engine import WorkloadResult, run_workload
+from repro.workload.sink import MetricsSink, merge_sinks
 from repro.workload.spec import WorkloadSpec
 
 #: One task: ``(name, spec)``; results are keyed by name.
 WorkloadTask = tuple[str, WorkloadSpec]
+
+
+def shard_of(client_index: int, num_shards: int) -> int:
+    """The shard owning one client: a salt-free deterministic hash.
+
+    Uses CRC-32 of the decimal client index (not python's salted
+    ``hash``), so shard membership is stable across processes and runs.
+    """
+    return zlib.crc32(str(client_index).encode("ascii")) % num_shards
+
+
+def shard_clients(spec: WorkloadSpec, num_shards: int) -> list[WorkloadSpec]:
+    """Split a spec's client population into per-shard sub-specs.
+
+    Every shard keeps the full spec (seeds, network draw, classes) and
+    restricts ``client_subset`` to its hash bucket, so per-client seeds
+    and query ids match the unsharded run.  The metrics mode is resolved
+    *once* against the full fleet size and forced on every shard, so all
+    shard sinks are mutually mergeable.  Shards with no clients are
+    dropped.
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    resolved_mode = spec.metrics_mode
+    if resolved_mode is None:
+        resolved_mode = (
+            "exact"
+            if spec.total_queries <= spec.exact_metrics_threshold
+            else "streaming"
+        )
+    buckets: list[list[int]] = [[] for _ in range(num_shards)]
+    for client_index in spec.client_indices:
+        buckets[shard_of(client_index, num_shards)].append(client_index)
+    return [
+        replace(
+            spec, client_subset=tuple(bucket), metrics_mode=resolved_mode
+        )
+        for bucket in buckets
+        if bucket
+    ]
+
+
+def _run_shard(task: tuple[int, WorkloadSpec]) -> tuple[int, float, MetricsSink]:
+    """Worker body: run one shard, return its mergeable sink."""
+    index, spec = task
+    result = run_workload(spec)
+    return index, result.elapsed, result.metrics
+
+
+def run_workload_sharded(
+    spec: WorkloadSpec,
+    num_shards: int,
+    *,
+    workers: Optional[int] = None,
+) -> WorkloadResult:
+    """Run one fleet split across ``num_shards`` client-hash shards.
+
+    Each shard's sink merges into one fleet summary whose ``elapsed`` is
+    the slowest shard and whose ``scheduled`` covers the whole
+    population.  The merge is order-invariant, and the serial fallback
+    (no process pool, or ``workers=1``) is bit-identical to the parallel
+    path.  Per-query results are not materialized (``result.queries`` is
+    empty); tracing a sharded run is unsupported.
+    """
+    shard_specs = shard_clients(spec, num_shards)
+    if not shard_specs:
+        sink = spec.build_metrics()
+        return WorkloadResult(
+            spec=spec,
+            elapsed=0.0,
+            queries=[],
+            fleet=sink.summary(0.0, scheduled=0),
+            metrics=sink,
+        )
+    tasks = list(enumerate(shard_specs))
+    effective = resolve_workers(workers)
+    outputs: Optional[list[tuple[int, float, MetricsSink]]] = None
+    if effective > 1 and len(tasks) > 1:
+        try:
+            from concurrent.futures import ProcessPoolExecutor
+
+            with ProcessPoolExecutor(
+                max_workers=min(effective, len(tasks))
+            ) as pool:
+                outputs = list(pool.map(_run_shard, tasks, chunksize=1))
+        except _POOL_UNAVAILABLE:
+            outputs = None  # degrade to serial below
+    if outputs is None:
+        outputs = [_run_shard(task) for task in tasks]
+    outputs.sort(key=lambda item: item[0])
+    elapsed = max(item[1] for item in outputs)
+    sink = merge_sinks([item[2] for item in outputs])
+    scheduled = sum(s.total_queries for s in shard_specs)
+    return WorkloadResult(
+        spec=spec,
+        elapsed=elapsed,
+        queries=[],
+        fleet=sink.summary(elapsed, scheduled=scheduled),
+        metrics=sink,
+    )
 
 
 def _normalize_tasks(tasks: Sequence[tuple]) -> list[WorkloadTask]:
@@ -56,6 +171,7 @@ def run_workload_sweep(
     tasks: Sequence[tuple],
     *,
     workers: Optional[int] = None,
+    shards: int = 1,
     progress: Optional[Callable[[str, dict], None]] = None,
 ) -> dict[str, dict[str, Any]]:
     """Run a batch of ``(name, WorkloadSpec)`` tasks.
@@ -63,16 +179,29 @@ def run_workload_sweep(
     Returns ``{name: fleet summary dict}`` with one entry per task, in
     task order, independent of the worker count.  ``workers`` resolves
     exactly as in :func:`repro.experiments.parallel.resolve_workers`
-    (explicit argument, then ``REPRO_WORKERS``, then serial).
+    (explicit argument, then ``REPRO_WORKERS``, then serial).  With
+    ``shards > 1`` each task's fleet is client-hash sharded across the
+    worker pool (:func:`run_workload_sharded`), which is how sweeps over
+    fleets too large for one process's memory are meant to run.
     """
     normalized = _normalize_tasks(tasks)
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    if shards > 1:
+        results: dict[str, dict[str, Any]] = {}
+        for name, spec in normalized:
+            fleet = run_workload_sharded(spec, shards, workers=workers).fleet
+            results[name] = fleet
+            if progress is not None:
+                progress(name, fleet)
+        return results
     effective = resolve_workers(workers)
     if effective > 1 and len(normalized) > 1:
         try:
             return _run_parallel(normalized, effective, progress)
         except _POOL_UNAVAILABLE:
             pass  # no process pool on this platform: degrade to serial
-    results: dict[str, dict[str, Any]] = {}
+    results = {}
     for task in normalized:
         name, fleet = _run_task(task)
         results[name] = fleet

@@ -10,7 +10,7 @@ import pytest
 
 from repro.engine.config import Algorithm
 from repro.engine.simulation import run_simulation
-from repro.experiments import ExperimentSetup, run_configuration
+from repro.experiments import ExperimentConfig, run_configuration
 from tests.conftest import tiny_spec
 
 
@@ -43,7 +43,7 @@ class TestGoldenConstantNetwork:
 class TestGoldenStudyConfig:
     """Frozen outputs on the default synthetic study, config 0."""
 
-    SETUP = ExperimentSetup(num_servers=4, images_per_server=30)
+    SETUP = ExperimentConfig(num_servers=4, images_per_server=30)
 
     def test_download_all_completion_frozen(self):
         metrics = run_configuration(self.SETUP, 0, Algorithm.DOWNLOAD_ALL)

@@ -4,70 +4,70 @@ import pytest
 
 from repro.engine.config import Algorithm
 from repro.experiments.config import (
-    ExperimentSetup,
+    ExperimentConfig,
     build_spec,
     make_configuration,
 )
 
 
-class TestExperimentSetup:
+class TestExperimentConfig:
     def test_defaults_match_paper(self):
-        setup = ExperimentSetup()
+        setup = ExperimentConfig()
         assert setup.num_servers == 8
         assert setup.images_per_server == 180
         assert setup.relocation_period == 600.0
         assert setup.tree_shape == "binary"
 
     def test_host_names(self):
-        setup = ExperimentSetup(num_servers=3)
+        setup = ExperimentConfig(num_servers=3)
         assert setup.server_hosts == ("h0", "h1", "h2")
         assert setup.client_host == "client"
 
     def test_library_cached_per_seed(self):
-        a = ExperimentSetup(study_seed=5)
-        b = ExperimentSetup(study_seed=5)
+        a = ExperimentConfig(study_seed=5)
+        b = ExperimentConfig(study_seed=5)
         assert a.trace_library() is b.trace_library()
 
 
 class TestMakeConfiguration:
     def test_covers_complete_graph(self):
-        setup = ExperimentSetup(num_servers=4)
+        setup = ExperimentConfig(num_servers=4)
         links = make_configuration(setup, 0)
         assert len(links) == 5 * 4 // 2
 
     def test_deterministic_per_index(self):
-        setup = ExperimentSetup(num_servers=4)
+        setup = ExperimentConfig(num_servers=4)
         a = make_configuration(setup, 3)
         b = make_configuration(setup, 3)
         for key in a:
             assert a[key] == b[key]
 
     def test_indices_differ(self):
-        setup = ExperimentSetup(num_servers=4)
+        setup = ExperimentConfig(num_servers=4)
         a = make_configuration(setup, 0)
         b = make_configuration(setup, 1)
         assert any(a[key] != b[key] for key in a)
 
     def test_negative_index_rejected(self):
         with pytest.raises(ValueError):
-            make_configuration(ExperimentSetup(), -1)
+            make_configuration(ExperimentConfig(), -1)
 
     def test_traces_start_at_zero(self):
-        setup = ExperimentSetup(num_servers=4)
+        setup = ExperimentConfig(num_servers=4)
         for trace in make_configuration(setup, 0).values():
             assert trace.start == 0.0
 
 
 class TestBuildSpec:
     def test_spec_fields(self):
-        setup = ExperimentSetup(num_servers=4, images_per_server=12)
+        setup = ExperimentConfig(num_servers=4, images_per_server=12)
         spec = build_spec(setup, 0, Algorithm.GLOBAL)
         assert spec.algorithm is Algorithm.GLOBAL
         assert spec.num_servers == 4
         assert spec.images_per_server == 12
 
     def test_overrides_forwarded(self):
-        setup = ExperimentSetup(num_servers=4)
+        setup = ExperimentConfig(num_servers=4)
         spec = build_spec(
             setup, 0, Algorithm.GLOBAL, relocation_period=120.0, prefetch=False
         )
@@ -76,7 +76,7 @@ class TestBuildSpec:
 
     def test_same_config_same_workload_across_algorithms(self):
         """Paired comparison: all algorithms see identical inputs."""
-        setup = ExperimentSetup(num_servers=4)
+        setup = ExperimentConfig(num_servers=4)
         a = build_spec(setup, 2, Algorithm.DOWNLOAD_ALL)
         b = build_spec(setup, 2, Algorithm.GLOBAL)
         assert a.workload_seed == b.workload_seed

@@ -5,7 +5,7 @@ import pytest
 
 from repro.engine.config import Algorithm
 from repro.experiments import (
-    ExperimentSetup,
+    ExperimentConfig,
     build_spec,
     compare_algorithms,
     resolve_workers,
@@ -18,7 +18,7 @@ from repro.traces import InternetStudy
 
 @pytest.fixture(scope="module")
 def small_setup():
-    return ExperimentSetup(num_servers=4, images_per_server=12)
+    return ExperimentConfig(num_servers=4, images_per_server=12)
 
 
 class TestResolveWorkers:
@@ -109,7 +109,7 @@ class TestDeterminism:
         # under the worker-init path as in-process: the setup, library
         # included, ships to each worker once via the pool initializer.
         library = InternetStudy(seed=777).run()
-        setup = ExperimentSetup(
+        setup = ExperimentConfig(
             num_servers=4, images_per_server=8, library=library, study_seed=777
         )
         serial = run_sweep(setup, [(0, Algorithm.GLOBAL), (1, Algorithm.GLOBAL)])
@@ -123,7 +123,7 @@ class TestDeterminism:
         # Regression: build_spec with library= injected must work when the
         # worker globals (not the caller) hold the setup.
         library = InternetStudy(seed=42).run()
-        setup = ExperimentSetup(
+        setup = ExperimentConfig(
             num_servers=4, images_per_server=8, library=library, study_seed=42
         )
         _init_worker(setup)

@@ -1,12 +1,13 @@
 """Report generation and the command-line interface."""
 
 import json
+from dataclasses import replace
 
 import pytest
 
 from repro.cli import main
-from repro.experiments import ExperimentSetup
-from repro.experiments.report import ReportOptions, ascii_curve, generate_report
+from repro.experiments import ExperimentConfig
+from repro.experiments.report import ascii_curve, generate_report
 
 
 class TestAsciiCurve:
@@ -32,12 +33,13 @@ class TestAsciiCurve:
 
 @pytest.fixture(scope="module")
 def tiny_setup():
-    return ExperimentSetup(num_servers=4, images_per_server=10)
+    return ExperimentConfig(num_servers=4, images_per_server=10)
 
 
 class TestGenerateReport:
     def test_fig6_only_report(self, tiny_setup, tmp_path):
-        options = ReportOptions(
+        config = replace(
+            tiny_setup,
             n_configs=2,
             include_fig7=False,
             include_fig8=False,
@@ -45,7 +47,7 @@ class TestGenerateReport:
             include_fig10=False,
         )
         result = generate_report(
-            tiny_setup, options, out_dir=tmp_path, echo=lambda *a: None
+            config, out_dir=tmp_path, echo=lambda *a: None
         )
         assert "Figure 6" in result["markdown"]
         assert (tmp_path / "report.md").exists()
@@ -53,11 +55,11 @@ class TestGenerateReport:
         assert "fig6" in data
         assert data["fig6"]["global"]["mean"] > 0
 
-    def test_report_options_scaling(self):
-        options = ReportOptions(n_configs=30)
-        assert options.configs_for("fig8") == 10
-        options = ReportOptions(n_configs=30, fig8_configs=3)
-        assert options.configs_for("fig8") == 3
+    def test_report_scale_knobs_on_config(self):
+        config = ExperimentConfig(n_configs=30)
+        assert config.configs_for("fig8") == 10
+        config = ExperimentConfig(n_configs=30, fig8_configs=3)
+        assert config.configs_for("fig8") == 3
 
 
 class TestCli:

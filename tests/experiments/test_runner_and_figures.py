@@ -5,7 +5,7 @@ import pytest
 
 from repro.engine.config import Algorithm
 from repro.experiments import (
-    ExperimentSetup,
+    ExperimentConfig,
     compare_algorithms,
     fig6_main_comparison,
     fig7_extra_sites,
@@ -21,7 +21,7 @@ from repro.experiments.runner import AlgorithmSummary
 @pytest.fixture(scope="module")
 def small_setup():
     """A fast setup: few images, few servers."""
-    return ExperimentSetup(num_servers=4, images_per_server=12)
+    return ExperimentConfig(num_servers=4, images_per_server=12)
 
 
 class TestRunner:

@@ -1,4 +1,4 @@
-"""The unified ExperimentConfig and its deprecated aliases."""
+"""The unified ExperimentConfig (its deprecated aliases are gone)."""
 
 from __future__ import annotations
 
@@ -8,10 +8,11 @@ from dataclasses import replace
 
 import pytest
 
+import repro.experiments
+import repro.experiments.report
 from repro.engine.metrics import SUMMARY_SCHEMA, RunMetrics
-from repro.experiments import ExperimentConfig, ExperimentSetup
+from repro.experiments import ExperimentConfig
 from repro.experiments.persistence import metrics_from_dict, metrics_to_dict
-from repro.experiments.report import ReportOptions, _as_config
 
 
 class TestExperimentConfig:
@@ -32,42 +33,26 @@ class TestExperimentConfig:
         assert replace(config, fig8_configs=3).configs_for("fig8") == 3
         assert ExperimentConfig(n_configs=3).configs_for("fig9") == 2
 
-
-class TestDeprecatedAliases:
-    def test_experiment_setup_warns_and_still_works(self):
-        with pytest.warns(DeprecationWarning, match="ExperimentSetup"):
-            setup = ExperimentSetup(num_servers=4)
-        assert isinstance(setup, ExperimentConfig)
-        assert setup.num_servers == 4
-        assert setup.client_host == "client"
-
-    def test_experiment_setup_pickles_without_warning(self):
-        with pytest.warns(DeprecationWarning):
-            setup = ExperimentSetup(num_servers=4)
+    def test_pickles_without_warning(self):
+        config = ExperimentConfig(num_servers=4)
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)
-            copy = pickle.loads(pickle.dumps(setup))
-        assert copy == setup
+            copy = pickle.loads(pickle.dumps(config))
+        assert copy == config
 
-    def test_report_options_warns(self):
-        with pytest.warns(DeprecationWarning, match="ReportOptions"):
-            ReportOptions(n_configs=5)
 
-    def test_legacy_pair_merges_into_one_config(self):
-        with pytest.warns(DeprecationWarning):
-            setup = ExperimentSetup(num_servers=4, images_per_server=10)
-            options = ReportOptions(n_configs=7, include_fig9=False)
-        config = _as_config(setup, options)
-        assert type(config) is ExperimentConfig
-        assert config.num_servers == 4
-        assert config.images_per_server == 10
-        assert config.n_configs == 7
-        assert config.include_fig9 is False
+class TestAliasesAreRemoved:
+    """The PR-2 deprecation cycle is over: the aliases no longer exist."""
 
-    def test_modern_config_passes_through(self):
-        config = ExperimentConfig(num_servers=4)
-        assert _as_config(config, None) is config
-        assert _as_config(None, None) == ExperimentConfig()
+    def test_experiment_setup_is_gone(self):
+        assert not hasattr(repro.experiments, "ExperimentSetup")
+        with pytest.raises(ImportError):
+            from repro.experiments import ExperimentSetup  # noqa: F401
+
+    def test_report_options_is_gone(self):
+        assert not hasattr(repro.experiments.report, "ReportOptions")
+        with pytest.raises(ImportError):
+            from repro.experiments.report import ReportOptions  # noqa: F401
 
 
 class TestSummarySchemaVersions:

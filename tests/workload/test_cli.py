@@ -59,3 +59,48 @@ class TestWorkloadSubcommand:
         fleet = json.loads(capsys.readouterr().out)
         classes = {q["class"] for q in fleet["queries"]}
         assert classes <= {"global", "one-shot"}
+
+
+class TestStreamingAndSharding:
+    def test_forced_streaming_metrics(self, capsys):
+        assert main([*TINY, "--metrics", "streaming", "--json"]) == 0
+        fleet = json.loads(capsys.readouterr().out)
+        assert fleet["workload_schema"] == 2
+        assert fleet["completed"] == 2
+        assert "queries" not in fleet
+
+    def test_streaming_human_output(self, capsys):
+        assert main([*TINY, "--metrics", "streaming"]) == 0
+        out = capsys.readouterr().out
+        assert "streaming metrics" in out
+        assert "2/2 queries completed" in out
+
+    def test_sharded_run(self, capsys):
+        code = main([*TINY, "--shards", "2", "--workers", "1", "--json"])
+        assert code == 0
+        fleet = json.loads(capsys.readouterr().out)
+        assert fleet["scheduled"] == 2
+
+    def test_trace_dir_segments_replay(self, capsys, tmp_path):
+        from repro.obs import read_segments
+
+        code = main(
+            [*TINY, "--json", "--trace-dir", str(tmp_path / "seg")]
+        )
+        assert code == 0
+        fleet = json.loads(capsys.readouterr().out)
+        assert fleet_from_trace(read_segments(tmp_path / "seg")) == fleet
+
+    def test_shards_and_tracing_conflict(self):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            main([*TINY, "--shards", "2", "--trace", "x.jsonl"])
+        with pytest.raises(SystemExit):
+            main([*TINY, "--shards", "2", "--trace-dir", "segs"])
+
+    def test_trace_and_trace_dir_conflict(self):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            main([*TINY, "--trace", "x.jsonl", "--trace-dir", "segs"])

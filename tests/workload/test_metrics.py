@@ -29,6 +29,14 @@ class TestJainIndex:
         j = jain_index(values)
         assert 1.0 / len(values) <= j <= 1.0
 
+    def test_none_entries_are_ignored(self):
+        assert jain_index([None, 5.0, 5.0]) == pytest.approx(1.0)
+        assert jain_index([None, None]) == 1.0
+
+    def test_zero_mean_does_not_divide_by_zero(self):
+        # All-zero means (every query truncated) must not raise.
+        assert jain_index([0.0, 0.0, 0.0]) == 1.0
+
 
 def outcome(query_id, arrivals, issued_at=0.0, truncated=False, relocations=0):
     metrics = RunMetrics(algorithm="one-shot", num_servers=2, images=len(arrivals))
@@ -110,6 +118,21 @@ class TestFleetSummary:
         assert fleet["latency"]["mean"] is None
         assert fleet["fairness_jain"] == 1.0
         assert fleet["relocations"]["per_query_mean"] == 0.0
+
+    def test_empty_fleet_shape_matches_populated(self):
+        from repro.workload.metrics import LATENCY_KEYS
+
+        empty = build_fleet_summary([], {}, elapsed=0.0, scheduled=0)
+        # The latency block carries the full key set (None-valued), and
+        # the per-client map is present-but-empty, not missing.
+        assert tuple(empty["latency"]) == LATENCY_KEYS
+        assert empty["per_client"] == {}
+        assert empty["queries"] == []
+        populated = build_fleet_summary(
+            [outcome("c0:0", [10.0])], {}, elapsed=20.0, scheduled=1
+        )
+        assert set(populated) == set(empty)
+        assert tuple(populated["latency"]) == LATENCY_KEYS
 
 
 class TestLinkUsageRecorder:

@@ -1,0 +1,129 @@
+"""Client-hash sharded fleets: partitioning and order-invariant merges."""
+
+import itertools
+import json
+
+import pytest
+
+from repro.engine.config import Algorithm
+from repro.workload import (
+    ClosedLoop,
+    QueryClass,
+    WorkloadSpec,
+    merge_sinks,
+    run_workload,
+    run_workload_sharded,
+    run_workload_sweep,
+    shard_clients,
+    shard_of,
+)
+
+
+def tiny_spec(**overrides):
+    defaults = dict(
+        classes=(QueryClass(name="os", algorithm=Algorithm.ONE_SHOT),),
+        num_clients=5,
+        queries_per_client=1,
+        arrivals=ClosedLoop(),
+        seed=4,
+        num_servers=4,
+        images_per_server=2,
+    )
+    defaults.update(overrides)
+    return WorkloadSpec(**defaults)
+
+
+class TestShardOf:
+    def test_deterministic_and_in_range(self):
+        for client in range(100):
+            shard = shard_of(client, 7)
+            assert 0 <= shard < 7
+            assert shard == shard_of(client, 7)
+
+    def test_spreads_clients(self):
+        assignments = {shard_of(c, 4) for c in range(64)}
+        assert assignments == {0, 1, 2, 3}
+
+
+class TestShardClients:
+    def test_partition_is_disjoint_and_complete(self):
+        spec = tiny_spec(num_clients=16)
+        shards = shard_clients(spec, 3)
+        seen = [c for s in shards for c in s.client_subset]
+        assert sorted(seen) == list(range(16))
+        assert len(seen) == len(set(seen))
+
+    def test_mode_resolved_against_full_fleet(self):
+        # 16 queries < default threshold: every shard is forced exact
+        # even though each sub-population is tiny.
+        for shard in shard_clients(tiny_spec(num_clients=16), 3):
+            assert shard.metrics_mode == "exact"
+        # Force streaming: shards inherit it.
+        spec = tiny_spec(num_clients=16, metrics_mode="streaming")
+        for shard in shard_clients(spec, 3):
+            assert shard.metrics_mode == "streaming"
+        # Above the threshold the full fleet resolves streaming.
+        spec = tiny_spec(num_clients=16, exact_metrics_threshold=4)
+        for shard in shard_clients(spec, 3):
+            assert shard.metrics_mode == "streaming"
+
+    def test_empty_buckets_dropped(self):
+        shards = shard_clients(tiny_spec(num_clients=2), 8)
+        assert 1 <= len(shards) <= 2
+        total = sum(len(s.client_subset) for s in shards)
+        assert total == 2
+
+    def test_bad_shard_count(self):
+        with pytest.raises(ValueError):
+            shard_clients(tiny_spec(), 0)
+
+
+class TestRunWorkloadSharded:
+    def test_serial_matches_parallel(self):
+        spec = tiny_spec()
+        serial = run_workload_sharded(spec, 3, workers=1)
+        parallel = run_workload_sharded(spec, 3, workers=3)
+        assert serial.fleet == parallel.fleet
+        assert serial.fleet["scheduled"] == 5
+
+    def test_shard_order_does_not_matter(self):
+        spec = tiny_spec(metrics_mode="streaming")
+        shard_specs = shard_clients(spec, 3)
+        sinks = [run_workload(s).metrics for s in shard_specs]
+        elapsed = 1000.0
+        summaries = set()
+        for order in itertools.permutations(range(len(sinks))):
+            # Re-run each shard so merges never mutate shared sinks.
+            parts = [run_workload(shard_specs[i]).metrics for i in order]
+            merged = merge_sinks(parts)
+            summaries.add(
+                json.dumps(merged.summary(elapsed, scheduled=5))
+            )
+        assert len(summaries) == 1
+        assert len(sinks) >= 2  # the permutations actually permuted
+
+    def test_streaming_sharded_run(self):
+        spec = tiny_spec(metrics_mode="streaming")
+        result = run_workload_sharded(spec, 2, workers=1)
+        assert result.fleet["workload_schema"] == 2
+        assert result.fleet["launched"] == 5
+        assert result.queries == []
+
+    def test_single_shard_equals_unsharded_streaming(self):
+        spec = tiny_spec(metrics_mode="streaming")
+        whole = run_workload(spec)
+        sharded = run_workload_sharded(spec, 1, workers=1)
+        assert sharded.fleet == whole.fleet
+
+
+class TestSweepWithShards:
+    def test_sweep_shards_param(self):
+        tasks = [("a", tiny_spec(seed=1)), ("b", tiny_spec(seed=2))]
+        results = run_workload_sweep(tasks, workers=1, shards=2)
+        assert list(results) == ["a", "b"]
+        for fleet in results.values():
+            assert fleet["scheduled"] == 5
+
+    def test_bad_shards_rejected(self):
+        with pytest.raises(ValueError):
+            run_workload_sweep([("a", tiny_spec())], shards=0)

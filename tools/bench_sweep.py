@@ -15,7 +15,10 @@ benchmarks the kernel/trace hot paths:
 * config build — build-once ``SampledConfig`` fan-out vs resampling the
   network configuration for every ``(config, algorithm)`` run;
 * run-tracing overhead — the same simulation with the tracer off vs on
-  (the no-op tracer must stay effectively free).
+  (the no-op tracer must stay effectively free);
+* streaming fleet metrics at scale — a 100k-client synthetic open-loop
+  stream through ``StreamingFleetMetrics``: ingest rate, flat-memory
+  check, sketch error vs exact percentiles, shard-merge invariance.
 
 Writes ``BENCH_sweep.json`` (see ``docs/performance.md`` for how to read
 it).  Run from the repo root::
@@ -171,6 +174,115 @@ def bench_workload(workers: int, n_seeds: int = 4) -> dict:
         "sweep_parallel_seconds": round(parallel_seconds, 3),
         "sweep_parallel_speedup": round(serial_seconds / parallel_seconds, 3),
         "bit_identical": serial == parallel,
+    }
+
+
+def bench_fleet_scale(quick: bool = False) -> dict:
+    """Streaming fleet metrics at 100k+ clients: flat memory, bounded error.
+
+    Drives a :class:`~repro.workload.sink.StreamingFleetMetrics` directly
+    with a seeded synthetic open-loop outcome stream (the sink neither
+    knows nor cares whether a DES or a generator produced the stats), so
+    the leg isolates the metrics path: ingest throughput, memory
+    flatness between the half-way and full marks, pickled sink size, the
+    sketch-vs-exact percentile error, and shard-merge order invariance.
+    """
+    import pickle
+    import random
+    import tracemalloc
+
+    from repro.workload import QueryStats, StreamingFleetMetrics, merge_sinks
+    from repro.workload.sketch import exact_percentiles
+    from repro.workload.sweep import shard_of
+
+    num_clients = 20_000 if quick else 100_000
+    queries_per_client = 2
+    total = num_clients * queries_per_client
+    eps = 0.01
+
+    def outcome_stream():
+        rng = random.Random(20_260_808)
+        clock = 0.0
+        for i in range(total):
+            clock += rng.expovariate(1.0)
+            client = i % num_clients
+            latency = rng.lognormvariate(5.0, 1.2)
+            yield QueryStats(
+                query_id=f"c{client}:{i // num_clients}",
+                class_name="global" if i % 3 else "one-shot",
+                algorithm="global" if i % 3 else "one-shot",
+                issued_at=clock,
+                completion_time=clock + latency,
+                images_delivered=8,
+                truncated=False,
+                relocations=i % 4,
+                aborted_relocations=0,
+                bytes_on_wire=float(rng.randrange(10**7)),
+            )
+
+    sink = StreamingFleetMetrics(num_clients, relative_error=eps)
+    tracemalloc.start()
+    t0 = time.perf_counter()
+    halfway_bytes = None
+    for i, stats in enumerate(outcome_stream()):
+        sink.query_started(stats.query_id, stats.class_name, stats.issued_at)
+        sink.query_finished(stats)
+        if i + 1 == total // 2:
+            halfway_bytes, _ = tracemalloc.get_traced_memory()
+    ingest_seconds = time.perf_counter() - t0
+    final_bytes, peak_bytes = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    summary = sink.summary(elapsed=1.0, scheduled=total)
+
+    # Replay the same seeded stream into an exact latency list to pin
+    # the sketch's relative-error guarantee at scale.
+    latencies = [s.latency for s in outcome_stream()]
+    exact = exact_percentiles(latencies, (50, 95, 99))
+    max_relative_error = max(
+        abs(summary["latency"][f"p{p}"] - truth) / truth
+        for p, truth in zip((50, 95, 99), exact)
+    )
+
+    # Shard-merge order invariance over a 3-way client-hash split.
+    shards = [
+        StreamingFleetMetrics(num_clients, relative_error=eps)
+        for _ in range(3)
+    ]
+    n_shard_stats = total // 10
+    for stats in outcome_stream():
+        if n_shard_stats == 0:
+            break
+        n_shard_stats -= 1
+        client = int(stats.query_id[1:].split(":")[0])
+        shard = shards[shard_of(client, 3)]
+        shard.query_started(stats.query_id, stats.class_name, stats.issued_at)
+        shard.query_finished(stats)
+    forward = merge_sinks([pickle.loads(pickle.dumps(s)) for s in shards])
+    backward = merge_sinks(
+        [pickle.loads(pickle.dumps(s)) for s in reversed(shards)]
+    )
+    order_invariant = (
+        forward.summary(1.0, scheduled=total)
+        == backward.summary(1.0, scheduled=total)
+    )
+
+    return {
+        "num_clients": num_clients,
+        "queries": total,
+        "ingest_seconds": round(ingest_seconds, 3),
+        "queries_per_second": round(total / ingest_seconds),
+        "halfway_traced_bytes": halfway_bytes,
+        "final_traced_bytes": final_bytes,
+        "peak_traced_bytes": peak_bytes,
+        # Flat memory: the second half of the stream must not grow the
+        # sink (per-client arrays dominate and are allocated up front).
+        "memory_growth_ratio": round(final_bytes / halfway_bytes, 4),
+        "pickled_sink_bytes": len(pickle.dumps(sink)),
+        "completed": summary["completed"],
+        "max_percentile_relative_error": round(max_relative_error, 6),
+        "relative_error_budget": 2 * eps,
+        "within_error_budget": max_relative_error <= 2 * eps,
+        "shard_merge_order_invariant": order_invariant,
     }
 
 
@@ -491,6 +603,20 @@ def main(argv=None) -> int:
         f"{overhead['tracer_on_seconds']}s "
         f"({overhead['on_over_off_ratio']}x, "
         f"{overhead['events_recorded']:,} events)"
+    )
+
+    print(f"[bench] streaming fleet metrics at scale...", flush=True)
+    results["fleet_scale"] = bench_fleet_scale(quick=args.quick)
+    scale = results["fleet_scale"]
+    print(
+        f"         {scale['queries']:,} queries over "
+        f"{scale['num_clients']:,} clients at "
+        f"{scale['queries_per_second']:,}/s, memory growth "
+        f"{scale['memory_growth_ratio']}x (flat), sink "
+        f"{scale['pickled_sink_bytes']:,} B pickled, max percentile "
+        f"error {scale['max_percentile_relative_error']} "
+        f"(budget {scale['relative_error_budget']}), shard-merge "
+        f"order-invariant: {scale['shard_merge_order_invariant']}"
     )
 
     print(f"[bench] concurrent workload fleet + sweep...", flush=True)
