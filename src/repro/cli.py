@@ -217,7 +217,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     if args.plan:
         plan = FaultPlan.from_json(args.plan)
     else:
-        plan = reference_chaos_plan(hosts, seed=args.seed)
+        plan = reference_chaos_plan(hosts, seed=args.seed, scale=args.scale)
     if args.emit_plan:
         plan.to_json(args.emit_plan)
         print(f"fault plan written to {args.emit_plan}")
@@ -290,6 +290,31 @@ def _print_fleet(fleet: dict) -> None:
         f"relocations: {fleet['relocations']['total']} "
         f"({fleet['relocations']['per_query_mean']:.2f}/query)"
     )
+    resilience = fleet.get("resilience")
+    if resilience:
+        breaker = resilience["breaker"]
+        print(
+            f"overload: shed {resilience['shed']} "
+            f"({resilience['shed_rate']:.0%}), queued {resilience['queued']} "
+            f"(peak {resilience['queue_peak']}), deadline aborts "
+            f"{resilience['deadline_aborts']} "
+            f"({resilience['deadline_miss_rate']:.0%}), retries "
+            f"{resilience['retries']}, goodput "
+            f"{resilience['goodput'] * 3600:.1f} queries/h"
+        )
+        if breaker["opens"]:
+            hosts = ", ".join(sorted(breaker["hosts"]))
+            print(
+                f"breakers: {breaker['opens']} opened / "
+                f"{breaker['closes']} closed ({hosts}); "
+                f"{resilience['degraded']} queries degraded"
+            )
+        for name, entry in resilience["per_class"].items():
+            if entry["slo_attainment"] is not None:
+                print(
+                    f"SLO {name}: {entry['slo_attainment']:.0%} of "
+                    f"{entry['slo_eligible']} completed queries"
+                )
     if fleet["workload_schema"] == 1:
         print(f"\n{'query':<8}{'class':<14}{'algorithm':<14}"
               f"{'issued':>9}{'latency':>10}{'reloc':>7}")
@@ -333,7 +358,25 @@ def _print_fleet(fleet: dict) -> None:
             )
 
 
+def _overload_policy(args: argparse.Namespace):
+    """An :class:`OverloadPolicy` from the CLI flags, or None at defaults."""
+    from repro.workload import OverloadPolicy
+
+    policy = OverloadPolicy(
+        max_concurrent=args.max_concurrent,
+        max_queue_depth=args.queue_depth,
+        shed_probability=args.shed_probability,
+        retry_budget=args.retry_budget,
+        retry_backoff=args.retry_backoff,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
+    )
+    return None if policy.is_null() else policy
+
+
 def cmd_workload(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
     from repro.workload import (
         ClosedLoop,
         OpenLoop,
@@ -346,9 +389,17 @@ def cmd_workload(args: argparse.Namespace) -> int:
         arrivals = OpenLoop(rate=args.rate, process=args.process)
     else:
         arrivals = ClosedLoop(think_time=args.think, process=args.process)
+    if args.chaos and args.faults:
+        raise SystemExit("--chaos and --faults are mutually exclusive")
     fault_overrides = _fault_overrides(args)
+    classes = _parse_mix(args.mix, args.period)
+    if args.deadline is not None or args.slo is not None:
+        classes = tuple(
+            replace(qclass, deadline=args.deadline, slo_target=args.slo)
+            for qclass in classes
+        )
     spec = WorkloadSpec(
-        classes=_parse_mix(args.mix, args.period),
+        classes=classes,
         num_clients=args.clients,
         queries_per_client=args.queries,
         arrivals=arrivals,
@@ -360,7 +411,17 @@ def cmd_workload(args: argparse.Namespace) -> int:
         fault_plan=fault_overrides.get("faults"),
         max_sim_time=args.max_time,
         metrics_mode=None if args.metrics == "auto" else args.metrics,
+        overload=_overload_policy(args),
     )
+    if args.chaos:
+        from repro.faults import reference_chaos_plan
+
+        spec = replace(
+            spec,
+            fault_plan=reference_chaos_plan(
+                spec.all_hosts, seed=args.seed, scale=args.chaos_scale
+            ),
+        )
     if args.trace and args.trace_dir:
         raise SystemExit("--trace and --trace-dir are mutually exclusive")
     if args.shards > 1 and (args.trace or args.trace_dir):
@@ -529,6 +590,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "reference chaos plan)")
     chaos.add_argument("--emit-plan", default=None, metavar="PATH",
                        help="write the plan JSON and exit without running")
+    chaos.add_argument("--scale", type=int, default=1,
+                       help="grow the reference plan with extra staggered "
+                            "outage/crash waves (default 1: the classic "
+                            "plan; ignored with --plan)")
     chaos.add_argument("--json", action="store_true", help="JSON output")
     chaos.set_defaults(func=cmd_chaos)
 
@@ -588,6 +653,58 @@ def build_parser() -> argparse.ArgumentParser:
                           help="keep at most this many --trace-dir "
                                "segments, pruning the oldest")
     _add_faults_argument(workload)
+    workload.add_argument("--chaos", action="store_true",
+                          help="inject the built-in reference chaos plan "
+                               "over the fleet's hosts (same plan as "
+                               "`repro chaos`; mutually exclusive with "
+                               "--faults)")
+    workload.add_argument("--chaos-scale", type=int, default=1,
+                          metavar="N",
+                          help="with --chaos: add N-1 extra staggered "
+                               "outage/crash waves for long fleet runs "
+                               "(default 1)")
+    overload = workload.add_argument_group(
+        "overload protection",
+        "fleet-level admission control, deadlines, retry budgets and "
+        "circuit breakers; everything defaults off (see "
+        "docs/robustness.md)")
+    overload.add_argument("--max-concurrent", type=int, default=None,
+                          metavar="N",
+                          help="admit at most N queries at once; excess "
+                               "arrivals queue or are shed")
+    overload.add_argument("--queue-depth", type=int, default=0,
+                          metavar="N",
+                          help="with --max-concurrent: queue up to N "
+                               "arrivals before shedding (default 0)")
+    overload.add_argument("--shed-probability", type=float, default=0.0,
+                          metavar="P",
+                          help="with --max-concurrent: shed queueable "
+                               "arrivals with seeded probability P")
+    overload.add_argument("--deadline", type=float, default=None,
+                          metavar="SECONDS",
+                          help="abort any query older than this (measured "
+                               "from arrival, queueing included)")
+    overload.add_argument("--slo", type=float, default=None,
+                          metavar="SECONDS",
+                          help="latency SLO target; the summary reports "
+                               "per-class attainment")
+    overload.add_argument("--retry-budget", type=int, default=0,
+                          metavar="N",
+                          help="resubmit shed/aborted queries up to N "
+                               "times per client")
+    overload.add_argument("--retry-backoff", type=float, default=30.0,
+                          metavar="SECONDS",
+                          help="wait this long before each retry "
+                               "(default 30)")
+    overload.add_argument("--breaker-threshold", type=int, default=None,
+                          metavar="N",
+                          help="open a per-host circuit breaker after N "
+                               "failures involving a down host; affected "
+                               "queries replan degraded")
+    overload.add_argument("--breaker-cooldown", type=float, default=600.0,
+                          metavar="SECONDS",
+                          help="close an open breaker after this long "
+                               "(default 600)")
     workload.set_defaults(func=cmd_workload)
 
     trace = sub.add_parser(

@@ -390,7 +390,7 @@ class ClientActor(ActorBase):
         self.received += 1
         self.runtime.note_arrival(iteration, self.runtime.env.now)
         nxt = iteration + 1
-        if nxt < self.runtime.num_images:
+        if nxt < self.runtime.num_images and not self.runtime.cancelled:
             self._demand(nxt)
 
     def _demand(self, iteration: int) -> None:

@@ -120,6 +120,9 @@ class Runtime:
         #: Fault injector, set by the simulation builder when a fault
         #: plan is active; None keeps relocation on the unfaulted path.
         self.faults = None
+        #: Cooperative-cancellation flag (deadline aborts).  Once set, the
+        #: client stops demanding new iterations and the pipeline drains.
+        self.cancelled = False
 
         self._barrier_events: dict[int, Event] = {}
         self._barrier_reports: dict[int, dict[str, int]] = {}
@@ -130,6 +133,10 @@ class Runtime:
                 self.net_id(node.node_id),
                 initial_placement.host_of(node.node_id),
             )
+
+    def cancel(self) -> None:
+        """Stop issuing new work; in-flight transfers drain naturally."""
+        self.cancelled = True
 
     # -- actor-id namespacing -------------------------------------------------
     def net_id(self, actor: str) -> str:

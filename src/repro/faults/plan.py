@@ -254,7 +254,9 @@ class FaultPlan:
         return cls.from_dict(json.loads(Path(path).read_text()))
 
 
-def reference_chaos_plan(hosts: "Iterable[str]", seed: int = 0) -> FaultPlan:
+def reference_chaos_plan(
+    hosts: "Iterable[str]", seed: int = 0, scale: int = 1
+) -> FaultPlan:
     """The canonical chaos scenario over ``hosts`` (CI and ``repro chaos``).
 
     Deterministic given the host list and seed: an early outage and a
@@ -262,10 +264,19 @@ def reference_chaos_plan(hosts: "Iterable[str]", seed: int = 0) -> FaultPlan:
     crash, and a probe blackout.  Windows sit in the first half hour of
     simulated time so even small runs exercise every fault path, and
     message loss guarantees retransmissions on runs of any length.
+
+    ``scale`` grows the scenario for fleet-level runs: ``scale=1`` is
+    the plan above, bit-identical to what this function has always
+    produced.  Each extra unit adds one more staggered outage wave over
+    the next link pairs (round-robin) and one more host-crash window on
+    the next host, pushing the chaos deeper into the run so long fleet
+    workloads keep hitting fresh fault windows instead of a quiet tail.
     """
     hosts = list(hosts)
     if len(hosts) < 2:
         raise ValueError("a chaos plan needs at least two hosts")
+    if scale < 1:
+        raise ValueError(f"chaos scale must be >= 1, got {scale!r}")
     pairs = [
         _canonical(a, b)
         for i, a in enumerate(hosts)
@@ -274,11 +285,26 @@ def reference_chaos_plan(hosts: "Iterable[str]", seed: int = 0) -> FaultPlan:
     outages = [LinkOutage(*pairs[0], start=120.0, end=360.0)]
     if len(pairs) > 1:
         outages.append(LinkOutage(*pairs[1], start=900.0, end=1200.0))
+    crashes = [HostCrash(hosts[0], start=600.0, end=840.0)]
+    for wave in range(1, scale):
+        # Staggered waves: each pushes 30 simulated minutes deeper and
+        # walks round-robin through the link pairs and hosts.
+        base = 1800.0 * wave
+        pair = pairs[(2 * wave) % len(pairs)]
+        outages.append(LinkOutage(*pair, start=base + 120.0, end=base + 420.0))
+        if len(pairs) > 1:
+            pair = pairs[(2 * wave + 1) % len(pairs)]
+            outages.append(
+                LinkOutage(*pair, start=base + 900.0, end=base + 1260.0)
+            )
+        crashes.append(
+            HostCrash(hosts[wave % len(hosts)], start=base + 600.0, end=base + 870.0)
+        )
     return FaultPlan(
         seed=seed,
         link_outages=tuple(outages),
         link_loss=tuple(LinkLoss(a, b, probability=0.08) for a, b in pairs),
-        host_crashes=(HostCrash(hosts[0], start=600.0, end=840.0),),
+        host_crashes=tuple(crashes),
         probe_blackouts=(ProbeBlackout(start=60.0, end=300.0),),
         retry=RetryPolicy(timeout=30.0, backoff=2.0, max_backoff=240.0),
     )

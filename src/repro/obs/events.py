@@ -87,10 +87,41 @@ Point events
     or ``actor``.
 ``run.meta``
     First event of a run: ``algorithm``, ``num_servers``, ``images``,
-    ``tree_shape``, ``hosts``.
+    ``tree_shape``, ``hosts``.  Workload queries add ``query_class``;
+    a class with an SLO target adds ``slo`` (seconds) and a query
+    rerouted by an open circuit breaker adds ``degraded: true``.
 ``run.end``
     Last event of a run: ``truncated``, ``images_delivered``,
     ``completion_time``.
+``query.shed``
+    The admission controller rejected a query at arrival (concurrency
+    and queue limits exhausted, or the seeded shed coin fired).  Fields:
+    ``query_class``, ``attempt`` (0 for first submissions, the retry
+    number otherwise).
+``query.queued``
+    A query arrived while the fleet was at its concurrency limit and
+    joined the admission queue.  Fields: ``query_class``, ``depth``
+    (queue depth after the enqueue — its running max is the summary's
+    ``queue_peak``).
+``query.deadline_abort``
+    A query exceeded its class deadline and was aborted (its pipeline
+    drains through the cooperative cancellation path).  Fields:
+    ``query_class``, ``deadline``, ``waited`` (seconds since arrival),
+    ``launched`` (false when the query expired while still queued).
+``query.retry``
+    An aborted query will be resubmitted after a backoff, charged to
+    its client's retry budget.  Fields: ``query_class``, ``attempt``
+    (1-based retry number), ``wait`` (backoff seconds).
+``retry.budget_exhausted``
+    An aborted query could not be retried: its client's retry budget is
+    spent.  Fields: ``query_class``, ``client``.
+``breaker.open``
+    A per-host circuit breaker tripped after repeated failures involving
+    a down host; queries touching the host are planned degraded until
+    the breaker closes.  Fields: ``host``, ``failures``.
+``breaker.close``
+    A circuit breaker's cooldown elapsed; the host serves normal plans
+    again.  Fields: ``host``, ``open_seconds``.
 
 Span events
 -----------
@@ -159,6 +190,13 @@ FAULT_HOST_DOWN = "fault.host_down"
 FAULT_HOST_UP = "fault.host_up"
 MONITOR_PROBE_TIMEOUT = "monitor.probe_timeout"
 PLANNER_FALLBACK = "planner.fallback"
+QUERY_SHED = "query.shed"
+QUERY_QUEUED = "query.queued"
+QUERY_DEADLINE_ABORT = "query.deadline_abort"
+QUERY_RETRY = "query.retry"
+RETRY_BUDGET_EXHAUSTED = "retry.budget_exhausted"
+BREAKER_OPEN = "breaker.open"
+BREAKER_CLOSE = "breaker.close"
 
 #: Event type -> "point" | "span".  Exporters use this to pick the Chrome
 #: ``trace_event`` phase; anything absent defaults to "point".
@@ -192,6 +230,13 @@ EVENT_KINDS: dict[str, str] = {
     FAULT_HOST_UP: "point",
     MONITOR_PROBE_TIMEOUT: "point",
     PLANNER_FALLBACK: "point",
+    QUERY_SHED: "point",
+    QUERY_QUEUED: "point",
+    QUERY_DEADLINE_ABORT: "point",
+    QUERY_RETRY: "point",
+    RETRY_BUDGET_EXHAUSTED: "point",
+    BREAKER_OPEN: "point",
+    BREAKER_CLOSE: "point",
 }
 
 SPAN_EVENTS = frozenset(k for k, v in EVENT_KINDS.items() if v == "span")

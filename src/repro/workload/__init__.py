@@ -13,6 +13,11 @@ links, NICs, monitoring substrate and fault timeline.
 * :func:`run_workload_sharded` — one fleet, client-hash sharded across
   processes with order-invariant :class:`MetricsSink` merges.
 * :func:`fleet_from_trace` — rebuild the fleet summary from a trace.
+* :class:`OverloadPolicy` / :class:`OverloadController` — fleet-level
+  overload protection: admission control with seeded shedding, per-class
+  deadlines and SLO targets, per-client retry budgets, and per-host
+  circuit breakers that reroute to degraded plans under chaos.  All
+  knobs default off, keeping unprotected runs bit-identical.
 
 Fleet metrics flow through one :class:`MetricsSink` funnel: exact
 (``workload_schema: 1``) below ``WorkloadSpec.exact_metrics_threshold``,
@@ -51,6 +56,11 @@ from repro.workload.metrics import (
     fleet_from_trace,
     jain_index,
 )
+from repro.workload.overload import (
+    OverloadController,
+    OverloadPolicy,
+    ResilienceCounters,
+)
 from repro.workload.sink import (
     DEFAULT_EXACT_THRESHOLD,
     ExactFleetMetrics,
@@ -60,6 +70,7 @@ from repro.workload.sink import (
     client_index_of,
     fleet_metrics_for,
     merge_sinks,
+    note_slo,
 )
 from repro.workload.sketch import OrderFreeSum, QuantileSketch
 from repro.workload.spec import (
@@ -105,6 +116,10 @@ __all__ = [
     "client_index_of",
     "fleet_metrics_for",
     "merge_sinks",
+    "note_slo",
+    "OverloadController",
+    "OverloadPolicy",
+    "ResilienceCounters",
     "OrderFreeSum",
     "QuantileSketch",
     "QueryClass",

@@ -40,7 +40,8 @@ from repro.workload.arrivals import (
     open_loop_times,
     think_seconds,
 )
-from repro.workload.sink import MetricsSink, QueryStats
+from repro.workload.overload import OverloadController
+from repro.workload.sink import MetricsSink, QueryStats, note_slo
 from repro.workload.spec import QueryClass, WorkloadSpec, query_id_for
 
 
@@ -53,6 +54,12 @@ class ScheduledQuery:
     ordinal: int
     qclass: QueryClass
     spec: SimulationSpec
+    #: 0 for schedule slots; retries of deadline-aborted queries count
+    #: up from 1 (their ids carry a ``.r{attempt}`` suffix).
+    attempt: int = 0
+    #: True when an open circuit breaker rerouted this query to the
+    #: policy's degraded algorithm.
+    degraded: bool = False
 
 
 @dataclass
@@ -64,6 +71,9 @@ class QueryPlan:
     #: released its runtime.
     runtime: Optional[Runtime]
     issued_at: float
+    #: Set by the overload controller's deadline watchdog; the query
+    #: finalizes truncated even though its ``done`` event settled.
+    deadline_aborted: bool = False
 
     @property
     def query_id(self) -> str:
@@ -222,10 +232,19 @@ class WorkloadEngine:
 
         # A lone query runs un-namespaced so its execution is
         # bit-identical to run_simulation (see the identity test).
-        single = len(schedule) == 1
+        # Overload protection forces namespacing: retries re-register
+        # the same actor ids and must not collide.
+        engaged = spec.overload_engaged
+        single = len(schedule) == 1 and not engaged
         launched: list[QueryPlan] = []
         all_done = env.event()
         pending = len(schedule)
+
+        def slot_resolved() -> None:
+            nonlocal pending
+            pending -= 1
+            if pending == 0 and not all_done.triggered:
+                all_done.succeed(env.now)
 
         def finalize(plan: QueryPlan, truncated: bool) -> None:
             """Feed one query into the sink and release its runtime.
@@ -249,23 +268,23 @@ class WorkloadEngine:
                     images_delivered=len(metrics.arrival_times),
                     completion_time=metrics.completion_time,
                 )
-            sink.query_finished(
-                QueryStats.from_metrics(
-                    qid, plan.scheduled.qclass.name, plan.issued_at, metrics
-                )
+            stats = QueryStats.from_metrics(
+                qid, plan.scheduled.qclass.name, plan.issued_at, metrics
             )
+            sink.query_finished(stats)
+            note_slo(sink, stats, plan.scheduled.qclass.slo_target)
             plan.runtime = None
             network.query_stats.pop(qid, None)
             monitoring.query_stats.pop(qid, None)
 
         def note_done(plan: QueryPlan) -> None:
             def _completed(_event) -> None:
-                nonlocal pending
-                pending -= 1
                 if streaming:
-                    finalize(plan, truncated=False)
-                if pending == 0 and not all_done.triggered:
-                    all_done.succeed(env.now)
+                    finalize(plan, truncated=plan.deadline_aborted)
+                if controller is None:
+                    slot_resolved()
+                else:
+                    controller.query_finished(plan)
 
             plan.runtime.done.callbacks.append(_completed)
 
@@ -274,10 +293,16 @@ class WorkloadEngine:
             namespace = "" if single else qid + "/"
             scoped = ScopedTracer(tracer, query_id=qid)
             qspec = scheduled.spec
+            if scheduled.degraded:
+                sink.resilience_event("degraded", scheduled.qclass.name)
             if scoped.enabled:
                 extra = (
                     {} if single else {"query_class": scheduled.qclass.name}
                 )
+                if scheduled.qclass.slo_target is not None:
+                    extra["slo"] = scheduled.qclass.slo_target
+                if scheduled.degraded:
+                    extra["degraded"] = True
                 scoped.emit(
                     RUN_META,
                     env.now,
@@ -307,6 +332,26 @@ class WorkloadEngine:
             launched.append(plan)
             return plan
 
+        controller: Optional[OverloadController] = None
+        if engaged:
+            controller = OverloadController(
+                env,
+                spec.overload_policy,
+                spec.seed,
+                tracer,
+                sink,
+                launch=launch,
+                slot_resolved=slot_resolved,
+            )
+
+        def submit(scheduled: ScheduledQuery):
+            """Route one slot: through admission when engaged, else a
+            direct launch.  Returns what sessions wait on — the
+            submission (completion event) or the plan (runtime.done)."""
+            if controller is None:
+                return launch(scheduled)
+            return controller.submit(scheduled)
+
         # Group the schedule per client and split eager t=0 launches
         # (built before the fault timeline starts, mirroring
         # build_simulation's construction order) from deferred ones.
@@ -314,14 +359,14 @@ class WorkloadEngine:
         for scheduled in schedule:
             by_client.setdefault(scheduled.client_index, []).append(scheduled)
 
-        sessions: list[tuple[int, QueryPlan, list[ScheduledQuery]]] = []
+        sessions: list[tuple[int, Any, list[ScheduledQuery]]] = []
         spawner_jobs: list[tuple[int, list[tuple[float, ScheduledQuery]]]] = []
         if isinstance(spec.arrivals, ClosedLoop):
             for client_index in sorted(by_client):
                 slots = by_client[client_index]
-                first_plan = launch(slots[0])
+                first = submit(slots[0])
                 if len(slots) > 1:
-                    sessions.append((client_index, first_plan, slots[1:]))
+                    sessions.append((client_index, first, slots[1:]))
         else:
             assert isinstance(spec.arrivals, OpenLoop)
             for client_index in sorted(by_client):
@@ -331,29 +376,37 @@ class WorkloadEngine:
                 deferred: list[tuple[float, ScheduledQuery]] = []
                 for at, scheduled in zip(times, slots):
                     if at == 0.0:
-                        launch(scheduled)
+                        submit(scheduled)
                     else:
                         deferred.append((at, scheduled))
                 if deferred:
                     spawner_jobs.append((client_index, deferred))
 
         self._install_faults(env, network, monitoring, launched)
+        if controller is not None:
+            controller.injector = self._injector
 
-        def closed_session(client_index, first_plan, slots):
+        def done_event_of(previous):
+            """What a closed-loop session waits on before its next slot."""
+            if controller is None:
+                return previous.runtime.done
+            return previous.completion
+
+        def closed_session(client_index, first, slots):
             rng = arrival_rng(spec.seed, client_index)
-            previous = first_plan
+            previous = first
             for scheduled in slots:
-                yield previous.runtime.done
+                yield done_event_of(previous)
                 think = think_seconds(spec.arrivals, rng)
                 if think > 0:
                     yield env.timeout(think)
-                previous = launch(scheduled)
+                previous = submit(scheduled)
 
         def open_spawner(deferred):
             for at, scheduled in deferred:
                 if at > env.now:
                     yield env.timeout(at - env.now)
-                launch(scheduled)
+                submit(scheduled)
 
         for client_index, first_plan, slots in sessions:
             env.process(
@@ -380,7 +433,7 @@ class WorkloadEngine:
             for plan in launched:
                 runtime = plan.runtime
                 metrics = runtime.finalize_metrics(
-                    truncated=not runtime.finished
+                    truncated=plan.deadline_aborted or not runtime.finished
                 )
                 if tracer.enabled:
                     scoped = ScopedTracer(tracer, query_id=plan.query_id)
@@ -403,14 +456,14 @@ class WorkloadEngine:
                         metrics=metrics,
                     )
                 )
-                sink.query_finished(
-                    QueryStats.from_metrics(
-                        plan.query_id,
-                        scheduled.qclass.name,
-                        plan.issued_at,
-                        metrics,
-                    )
+                stats = QueryStats.from_metrics(
+                    plan.query_id,
+                    scheduled.qclass.name,
+                    plan.issued_at,
+                    metrics,
                 )
+                sink.query_finished(stats)
+                note_slo(sink, stats, scheduled.qclass.slo_target)
 
         fleet = sink.summary(env.now, scheduled=len(schedule))
         return WorkloadResult(

@@ -47,13 +47,21 @@ import numpy as np
 
 from repro.engine.metrics import RunMetrics
 from repro.obs.events import (
+    BREAKER_CLOSE,
+    BREAKER_OPEN,
     LINK_TRANSFER,
+    QUERY_DEADLINE_ABORT,
+    QUERY_QUEUED,
+    QUERY_RETRY,
+    QUERY_SHED,
     RELOCATION,
     RELOCATION_ABORT,
+    RETRY_BUDGET_EXHAUSTED,
     RUN_END,
     RUN_META,
 )
 from repro.obs.summary import query_records
+from repro.workload.overload import ResilienceCounters
 from repro.workload.sketch import OrderFreeSum, QuantileSketch
 from repro.workload.spec import client_of
 
@@ -69,13 +77,18 @@ _FRAME_TYPES = frozenset({"trace.header", "trace.footer", "trace.segment"})
 
 
 def client_index_of(query_id: str) -> int:
-    """The integer client index encoded in a ``"c{i}:{ordinal}"`` id."""
+    """The integer client index encoded in a ``"c{i}:{ordinal}"`` id.
+
+    Retry attempts (``"c{i}:{ordinal}.r{n}"``) belong to the same client
+    as the original submission.
+    """
     return int(query_id.split(":", 1)[0][1:])
 
 
-def _stats_sort_key(stats: "QueryStats") -> tuple[float, int, int]:
+def _stats_sort_key(stats: "QueryStats") -> tuple[float, int, int, str]:
     head, _, tail = stats.query_id.partition(":")
-    return (stats.issued_at, int(head[1:]), int(tail or 0))
+    ordinal = tail.partition(".")[0]
+    return (stats.issued_at, int(head[1:]), int(ordinal or 0), stats.query_id)
 
 
 @dataclass(frozen=True)
@@ -154,6 +167,14 @@ class MetricsSink(Protocol):
         query_id: Optional[str] = None,
     ) -> None: ...
 
+    def resilience_event(
+        self,
+        kind: str,
+        class_name: Optional[str] = None,
+        host: Optional[str] = None,
+        value: Any = None,
+    ) -> None: ...
+
     def merge(self, other: "MetricsSink") -> "MetricsSink": ...
 
     def summary(
@@ -162,7 +183,23 @@ class MetricsSink(Protocol):
 
 
 class _FleetMetricsBase:
-    """Shared plumbing: network-observer adapter and order-free folding."""
+    """Shared plumbing: network-observer adapter, resilience counters
+    and order-free folding."""
+
+    def resilience_event(
+        self,
+        kind: str,
+        class_name: Optional[str] = None,
+        host: Optional[str] = None,
+        value: Any = None,
+    ) -> None:
+        """Record one overload-protection transition (see
+        :class:`~repro.workload.overload.ResilienceCounters`)."""
+        self._resilience.note(kind, class_name=class_name, host=host, value=value)
+
+    @property
+    def resilience(self) -> ResilienceCounters:
+        return self._resilience
 
     def observe(self, observation) -> None:
         """Adapter matching the :class:`~repro.net.network.Network`
@@ -235,6 +272,7 @@ class ExactFleetMetrics(_FleetMetricsBase):
     def __init__(self) -> None:
         self._stats: list[QueryStats] = []
         self._links: dict[tuple[str, str], _LinkAccumulator] = {}
+        self._resilience = ResilienceCounters()
         self._was_merged = False
 
     def query_started(
@@ -275,6 +313,7 @@ class ExactFleetMetrics(_FleetMetricsBase):
                 self._links[key] = usage
             else:
                 mine.merge(usage)
+        self._resilience.merge(other._resilience)
         self._was_merged = True
         return self
 
@@ -299,7 +338,19 @@ class ExactFleetMetrics(_FleetMetricsBase):
                 transfers=acc.transfers,
                 by_query=dict(acc.attributed),
             )
-        return build_fleet_summary(stats, links, elapsed, scheduled=scheduled)
+        payload = build_fleet_summary(
+            stats, links, elapsed, scheduled=scheduled
+        )
+        if self._resilience.engaged:
+            # Evidence-driven: the block appears only when protection
+            # actually acted, so a defaults-off run (and its replay,
+            # which cannot see the spec) stays bit-identical.
+            payload["resilience"] = self._resilience.block(
+                launched=len(stats),
+                completed=sum(1 for s in stats if s.finished),
+                elapsed=elapsed,
+            )
+        return payload
 
 
 class _ClassStats:
@@ -353,6 +404,7 @@ class StreamingFleetMetrics(_FleetMetricsBase):
         self._aborted_relocations = 0
         self._links: dict[tuple[str, str], _LinkAccumulator] = {}
         self._inflight: dict[str, str] = {}
+        self._resilience = ResilienceCounters()
 
     def _class(self, name: str) -> _ClassStats:
         stats = self._classes.get(name)
@@ -446,6 +498,7 @@ class StreamingFleetMetrics(_FleetMetricsBase):
             else:
                 mine_link.merge(usage)
         self._inflight.update(other._inflight)
+        self._resilience.merge(other._resilience)
         return self
 
     def _sketch_block(self, sketch: QuantileSketch) -> dict[str, Any]:
@@ -484,7 +537,7 @@ class StreamingFleetMetrics(_FleetMetricsBase):
         bytes_on_wire = math.fsum(
             self._links[key].bytes.value for key in sorted(self._links)
         )
-        return {
+        payload = {
             "workload_schema": STREAMING_SCHEMA,
             "mode": self.mode,
             "relative_error": self.relative_error,
@@ -520,6 +573,13 @@ class StreamingFleetMetrics(_FleetMetricsBase):
             "bytes_on_wire": bytes_on_wire,
             "links": link_block,
         }
+        if self._resilience.engaged:
+            payload["resilience"] = self._resilience.block(
+                launched=self._launched,
+                completed=self._completed,
+                elapsed=elapsed,
+            )
+        return payload
 
 
 def fleet_metrics_for(
@@ -571,6 +631,49 @@ def _peek_header(
     return meta, rewound()
 
 
+#: Trace event type -> resilience-counter kind, for replay.
+_RESILIENCE_EVENTS = {
+    QUERY_SHED: "shed",
+    QUERY_QUEUED: "queued",
+    QUERY_DEADLINE_ABORT: "deadline_abort",
+    QUERY_RETRY: "retry",
+    RETRY_BUDGET_EXHAUSTED: "retry_budget_exhausted",
+    BREAKER_OPEN: "breaker_open",
+    BREAKER_CLOSE: "breaker_close",
+}
+
+
+def _replay_resilience(
+    metrics: MetricsSink, rtype: str, record: dict[str, Any]
+) -> None:
+    """Feed one overload-protection trace event into the sink."""
+    kind = _RESILIENCE_EVENTS.get(rtype)
+    if kind is None:
+        return
+    metrics.resilience_event(
+        kind,
+        class_name=record.get("query_class"),
+        host=record.get("host"),
+        value=record.get("depth"),
+    )
+
+
+def note_slo(
+    metrics: MetricsSink, stats: QueryStats, slo: Optional[float]
+) -> None:
+    """Record one completed query against its class SLO target.
+
+    The same comparison runs in the live engine and in both replay
+    paths, so attainment reconciles bit-exactly.
+    """
+    if slo is None:
+        return
+    latency = stats.latency
+    if latency is None:
+        return
+    metrics.resilience_event("slo", stats.class_name, value=latency <= slo)
+
+
 def _replay_exact(
     metrics: ExactFleetMetrics, events: list[dict[str, Any]]
 ) -> float:
@@ -583,25 +686,33 @@ def _replay_exact(
     order: list[str] = []
     issued: dict[str, float] = {}
     class_names: dict[str, str] = {}
+    slos: dict[str, float] = {}
     elapsed = 0.0
     for record in events:
+        rtype = record["type"]
         qid = record.get("query_id")
-        if record["type"] == RUN_META and qid is not None and qid not in issued:
+        if rtype == RUN_META and qid is not None and qid not in issued:
             order.append(qid)
             issued[qid] = record["t"]
             class_names[qid] = record.get("query_class", record["algorithm"])
-        elif record["type"] == RUN_END:
+            if record.get("slo") is not None:
+                slos[qid] = record["slo"]
+            if record.get("degraded"):
+                metrics.resilience_event("degraded", class_names[qid])
+        elif rtype == RUN_END:
             elapsed = max(elapsed, record["t"])
+        else:
+            _replay_resilience(metrics, rtype, record)
     for qid in order:
         metrics.query_started(qid, class_names[qid], issued[qid])
-        metrics.query_finished(
-            QueryStats.from_metrics(
-                qid,
-                class_names[qid],
-                issued[qid],
-                RunMetrics.from_trace(query_records(events, qid)),
-            )
+        stats = QueryStats.from_metrics(
+            qid,
+            class_names[qid],
+            issued[qid],
+            RunMetrics.from_trace(query_records(events, qid)),
         )
+        metrics.query_finished(stats)
+        note_slo(metrics, stats, slos.get(qid))
     for record in events:
         if record["type"] != LINK_TRANSFER:
             continue
@@ -625,7 +736,7 @@ def _replay_streaming(
     Orphan ``run.end`` events — whose ``run.meta`` lived in a rotated-away
     segment — are skipped and counted.
     """
-    inflight: dict[str, tuple[str, str, float]] = {}
+    inflight: dict[str, tuple[str, str, float, Optional[float]]] = {}
     relocations: dict[str, int] = {}
     aborted: dict[str, int] = {}
     elapsed = 0.0
@@ -639,7 +750,14 @@ def _replay_streaming(
             if qid is None or qid in inflight:
                 continue
             class_name = record.get("query_class", record["algorithm"])
-            inflight[qid] = (class_name, record["algorithm"], record["t"])
+            inflight[qid] = (
+                class_name,
+                record["algorithm"],
+                record["t"],
+                record.get("slo"),
+            )
+            if record.get("degraded"):
+                metrics.resilience_event("degraded", class_name)
             metrics.query_started(qid, class_name, record["t"])
         elif rtype == RUN_END:
             elapsed = max(elapsed, record["t"])
@@ -647,21 +765,21 @@ def _replay_streaming(
             if opened is None:
                 orphans += 1
                 continue
-            class_name, algorithm, issued_at = opened
-            metrics.query_finished(
-                QueryStats(
-                    query_id=qid,
-                    class_name=class_name,
-                    algorithm=algorithm,
-                    issued_at=issued_at,
-                    completion_time=record.get("completion_time"),
-                    images_delivered=record.get("images_delivered", 0),
-                    truncated=record.get("truncated", False),
-                    relocations=relocations.pop(qid, 0),
-                    aborted_relocations=aborted.pop(qid, 0),
-                    bytes_on_wire=0.0,
-                )
+            class_name, algorithm, issued_at, slo = opened
+            stats = QueryStats(
+                query_id=qid,
+                class_name=class_name,
+                algorithm=algorithm,
+                issued_at=issued_at,
+                completion_time=record.get("completion_time"),
+                images_delivered=record.get("images_delivered", 0),
+                truncated=record.get("truncated", False),
+                relocations=relocations.pop(qid, 0),
+                aborted_relocations=aborted.pop(qid, 0),
+                bytes_on_wire=0.0,
             )
+            metrics.query_finished(stats)
+            note_slo(metrics, stats, slo)
         elif rtype == LINK_TRANSFER:
             metrics.link_transfer(
                 record["src_host"],
@@ -674,6 +792,8 @@ def _replay_streaming(
             relocations[qid] = relocations.get(qid, 0) + 1
         elif rtype == RELOCATION_ABORT and qid is not None:
             aborted[qid] = aborted.get(qid, 0) + 1
+        else:
+            _replay_resilience(metrics, rtype, record)
     return elapsed, orphans
 
 
@@ -709,4 +829,26 @@ def fleet_from_trace(
         return metrics.summary(elapsed, scheduled=meta.get("scheduled_queries"))
     events = [r for r in stream if "type" in r]
     elapsed = _replay_exact(metrics, events)
-    return metrics.summary(elapsed)
+    scheduled = meta.get("scheduled_queries")
+    if scheduled is None:
+        scheduled = _scheduled_from_events(events)
+    return metrics.summary(elapsed, scheduled=scheduled)
+
+
+def _scheduled_from_events(events: list[dict[str, Any]]) -> Optional[int]:
+    """Reconstruct the scheduled-arrival count from a headerless trace.
+
+    Every scheduled arrival leaves at least one tagged footprint: a
+    ``run.meta`` (launched), a ``query.shed`` (rejected at admission) or
+    a ``query.deadline_abort`` (expired while queued).  Retries share
+    their original arrival's base id, so stripping the ``.rN`` suffix
+    collapses them.  Without overload protection this equals the
+    launched count — the summary's pre-existing default.
+    """
+    base_ids = {
+        record["query_id"].partition(".r")[0]
+        for record in events
+        if record.get("query_id") is not None
+        and record["type"] in (RUN_META, QUERY_SHED, QUERY_DEADLINE_ABORT)
+    }
+    return len(base_ids) or None

@@ -29,6 +29,7 @@ from repro.monitor.system import MonitoringConfig
 from repro.traces.study import TraceLibrary
 from repro.traces.trace import BandwidthTrace
 from repro.workload.arrivals import Arrivals, ClosedLoop
+from repro.workload.overload import OverloadPolicy
 
 #: SimulationSpec fields that are structural (handled explicitly when a
 #: query spec is assembled) rather than free per-class overrides.
@@ -74,6 +75,15 @@ class QueryClass:
     num_servers: Optional[int] = None
     #: ``None`` inherits the workload's ``images_per_server``.
     images_per_server: Optional[int] = None
+    #: Abort queries of this class that run longer than this many
+    #: seconds from arrival (queueing included); ``None`` never aborts.
+    #: Engages the overload controller (see
+    #: :mod:`repro.workload.overload`).
+    deadline: Optional[float] = None
+    #: Latency SLO target in seconds: completed queries at or under it
+    #: count toward the class's ``slo_attainment`` in the summary's
+    #: resilience block.  Pure accounting — never changes execution.
+    slo_target: Optional[float] = None
     overrides: Any = ()
 
     def __post_init__(self) -> None:
@@ -86,6 +96,12 @@ class QueryClass:
             object.__setattr__(self, "overrides", tuple(self.overrides))
         if not self.weight > 0:
             raise ValueError(f"class weight must be positive, got {self.weight!r}")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError(f"deadline must be positive, got {self.deadline!r}")
+        if self.slo_target is not None and self.slo_target <= 0:
+            raise ValueError(
+                f"slo_target must be positive, got {self.slo_target!r}"
+            )
         bad = {k for k, _ in self.overrides} & _STRUCTURAL_FIELDS
         if bad:
             raise ValueError(
@@ -123,6 +139,11 @@ class WorkloadSpec:
     server_hosts_override: Optional[tuple[str, ...]] = None
     client_host: str = "client"
     fault_plan: Optional[FaultPlan] = None
+    #: Admission/retry/breaker limits (:class:`~repro.workload.
+    #: overload.OverloadPolicy`); ``None`` (or a null policy with no
+    #: class deadlines) admits everything and is bit-identical to the
+    #: pre-overload engine.
+    overload: Optional["OverloadPolicy"] = None
     monitoring: MonitoringConfig = field(default_factory=MonitoringConfig)
     startup_cost: float = 0.050
     nic_capacity: int = 1
@@ -209,6 +230,20 @@ class WorkloadSpec:
     @property
     def total_queries(self) -> int:
         return len(self.client_indices) * self.queries_per_client
+
+    @property
+    def overload_engaged(self) -> bool:
+        """True when the engine must route arrivals through the
+        :class:`~repro.workload.overload.OverloadController` (a non-null
+        policy, or any class with a deadline)."""
+        if self.overload is not None and not self.overload.is_null():
+            return True
+        return any(qclass.deadline is not None for qclass in self.classes)
+
+    @property
+    def overload_policy(self) -> OverloadPolicy:
+        """The effective policy (a null one when nothing is set)."""
+        return self.overload if self.overload is not None else OverloadPolicy()
 
     def build_metrics(self):
         """The :class:`~repro.workload.sink.MetricsSink` for this fleet.

@@ -104,3 +104,54 @@ class TestStreamingAndSharding:
 
         with pytest.raises(SystemExit):
             main([*TINY, "--trace", "x.jsonl", "--trace-dir", "segs"])
+
+
+class TestOverloadFlags:
+    def test_defaults_leave_summary_unchanged(self, capsys):
+        # All overload flags at their defaults: no policy is built and
+        # the summary has no resilience block.
+        assert main([*TINY, "--json"]) == 0
+        fleet = json.loads(capsys.readouterr().out)
+        assert "resilience" not in fleet
+
+    def test_admission_flags_shed(self, capsys):
+        code = main(
+            [
+                *TINY,
+                "--clients", "4",
+                "--max-concurrent", "1",
+                "--json",
+            ]
+        )
+        assert code == 0
+        fleet = json.loads(capsys.readouterr().out)
+        assert fleet["resilience"]["shed"] > 0
+
+    def test_deadline_flag_aborts_and_reports(self, capsys):
+        code = main([*TINY, "--deadline", "10", "--retry-budget", "1"])
+        assert code == 1  # aborted queries finalize truncated
+        out = capsys.readouterr().out
+        assert "overload:" in out
+        assert "deadline aborts 4" in out  # 2 slots + 2 retries
+
+    def test_slo_flag_reports_attainment(self, capsys):
+        assert main([*TINY, "--slo", "1e9"]) == 0
+        out = capsys.readouterr().out
+        # Both default-mix classes completed within the generous target.
+        assert "SLO global: 100% of 1 completed queries" in out
+        assert "SLO one-shot: 100% of 1 completed queries" in out
+
+    def test_chaos_flag_injects_reference_plan(self, capsys):
+        main([*TINY, "--chaos", "--json"])
+        fleet = json.loads(capsys.readouterr().out)
+        # The reference plan's 8% link loss guarantees retransmissions
+        # show up as wire traffic beyond the fault-free run.
+        assert fleet["scheduled"] == 2
+
+    def test_chaos_and_faults_conflict(self, tmp_path):
+        import pytest
+
+        plan = tmp_path / "plan.json"
+        plan.write_text("{}")
+        with pytest.raises(SystemExit):
+            main([*TINY, "--chaos", "--faults", str(plan)])

@@ -8,6 +8,7 @@ import pytest
 from repro.engine.config import Algorithm
 from repro.workload import (
     ClosedLoop,
+    OverloadPolicy,
     QueryClass,
     WorkloadSpec,
     merge_sinks,
@@ -114,6 +115,72 @@ class TestRunWorkloadSharded:
         whole = run_workload(spec)
         sharded = run_workload_sharded(spec, 1, workers=1)
         assert sharded.fleet == whole.fleet
+
+
+def overloaded_spec(**overrides):
+    """A fleet whose shards all move resilience counters.
+
+    The 40 s class deadline is below every query's completion time, so
+    each shard sheds nothing but aborts and retries deterministically;
+    the merged summary's ``resilience`` block must not depend on shard
+    order.
+    """
+    defaults = dict(
+        classes=(
+            QueryClass(
+                name="os",
+                algorithm=Algorithm.ONE_SHOT,
+                deadline=40.0,
+                slo_target=30.0,
+            ),
+        ),
+        num_clients=6,
+        queries_per_client=2,
+        arrivals=ClosedLoop(),
+        seed=4,
+        num_servers=4,
+        images_per_server=2,
+        overload=OverloadPolicy(retry_budget=1, retry_backoff=10.0),
+    )
+    defaults.update(overrides)
+    return WorkloadSpec(**defaults)
+
+
+class TestShardedResilience:
+    def test_resilience_merges_order_invariantly(self):
+        # Admission is per-engine, so a sharded fleet is its own
+        # scenario — but within it, any shard permutation (and any
+        # worker count) must fold to the identical resilience block.
+        spec = overloaded_spec()
+        shard_specs = shard_clients(spec, 3)
+        assert len(shard_specs) >= 2
+        blocks = set()
+        for order in itertools.permutations(range(len(shard_specs))):
+            parts = [run_workload(shard_specs[i]).metrics for i in order]
+            merged = merge_sinks(parts)
+            summary = merged.summary(1000.0, scheduled=12)
+            blocks.add(json.dumps(summary["resilience"], sort_keys=True))
+        assert len(blocks) == 1
+        block = json.loads(next(iter(blocks)))
+        assert block["deadline_aborts"] > 0
+        assert block["retries"] > 0
+        assert block["per_class"]["os"]["slo_eligible"] >= 0
+
+    def test_serial_matches_parallel_with_overload(self):
+        spec = overloaded_spec()
+        serial = run_workload_sharded(spec, 3, workers=1)
+        parallel = run_workload_sharded(spec, 3, workers=3)
+        assert serial.fleet == parallel.fleet
+        assert serial.fleet["resilience"]["deadline_aborts"] > 0
+
+    def test_streaming_shards_match_exact_shards(self):
+        exact = run_workload_sharded(overloaded_spec(), 3, workers=1)
+        streaming = run_workload_sharded(
+            overloaded_spec(metrics_mode="streaming"), 3, workers=1
+        )
+        assert (
+            exact.fleet["resilience"] == streaming.fleet["resilience"]
+        )
 
 
 class TestSweepWithShards:

@@ -18,7 +18,11 @@ benchmarks the kernel/trace hot paths:
   (the no-op tracer must stay effectively free);
 * streaming fleet metrics at scale — a 100k-client synthetic open-loop
   stream through ``StreamingFleetMetrics``: ingest rate, flat-memory
-  check, sketch error vs exact percentiles, shard-merge invariance.
+  check, sketch error vs exact percentiles, shard-merge invariance;
+* overload protection under chaos — the same oversubscribed fleet wide
+  open vs protected (admission + deadlines + retries + breakers):
+  protected p99 stays under the deadline, counters reconcile with a
+  trace replay and across a 3-way shard split.
 
 Writes ``BENCH_sweep.json`` (see ``docs/performance.md`` for how to read
 it).  Run from the repo root::
@@ -174,6 +178,116 @@ def bench_workload(workers: int, n_seeds: int = 4) -> dict:
         "sweep_parallel_seconds": round(parallel_seconds, 3),
         "sweep_parallel_speedup": round(serial_seconds / parallel_seconds, 3),
         "bit_identical": serial == parallel,
+    }
+
+
+def bench_overload(workers: int, quick: bool = False) -> dict:
+    """Overload protection under chaos: bounded tail vs open admission.
+
+    Runs the same oversubscribed open-loop fleet (Poisson arrivals well
+    above the service rate, reference chaos plan injected) twice: wide
+    open, and protected by admission control + deadlines + retry
+    budgets + breakers.  The protected fleet must keep the p99 of
+    completed queries under the deadline while the unprotected tail
+    blows past it, and its resilience counters must reconcile with a
+    bit-exact trace replay and across a 3-way client-hash shard split.
+    """
+    from dataclasses import replace as dc_replace
+
+    from repro.faults import reference_chaos_plan
+    from repro.workload import (
+        OpenLoop,
+        OverloadPolicy,
+        QueryClass,
+        WorkloadSpec,
+        fleet_from_trace,
+        run_workload,
+        run_workload_sharded,
+    )
+
+    deadline = 700.0
+    protected_classes = tuple(
+        QueryClass(
+            name=algorithm.value,
+            algorithm=algorithm,
+            deadline=deadline,
+            slo_target=600.0,
+        )
+        for algorithm in (Algorithm.GLOBAL, Algorithm.ONE_SHOT)
+    )
+    spec = WorkloadSpec(
+        classes=protected_classes,
+        num_clients=4 if quick else 8,
+        queries_per_client=2 if quick else 3,
+        arrivals=OpenLoop(rate=0.02, process="poisson"),
+        seed=11,
+        num_servers=4,
+        images_per_server=3,
+        overload=OverloadPolicy(
+            max_concurrent=3,
+            max_queue_depth=4,
+            shed_probability=0.05,
+            retry_budget=1,
+            retry_backoff=60.0,
+            breaker_threshold=2,
+            breaker_cooldown=600.0,
+        ),
+    )
+    spec = dc_replace(
+        spec, fault_plan=reference_chaos_plan(spec.all_hosts, seed=3)
+    )
+    unprotected = dc_replace(
+        spec,
+        overload=None,
+        classes=tuple(
+            dc_replace(qclass, deadline=None, slo_target=None)
+            for qclass in spec.classes
+        ),
+    )
+
+    run_workload(unprotected)  # warm caches outside the timers
+    t0 = time.perf_counter()
+    open_result = run_workload(unprotected)
+    unprotected_seconds = time.perf_counter() - t0
+
+    tracer = Tracer()
+    t0 = time.perf_counter()
+    protected_result = run_workload(spec, tracer=tracer)
+    protected_seconds = time.perf_counter() - t0
+
+    open_fleet = open_result.fleet
+    protected_fleet = protected_result.fleet
+    resilience = protected_fleet["resilience"]
+    replay_identical = fleet_from_trace(tracer.events) == protected_fleet
+
+    serial = run_workload_sharded(spec, 3, workers=1)
+    parallel = run_workload_sharded(spec, 3, workers=workers)
+    sharded_identical = serial.fleet == parallel.fleet
+
+    protected_p99 = protected_fleet["latency"]["p99"]
+    unprotected_p99 = open_fleet["latency"]["p99"]
+    return {
+        "scheduled": spec.total_queries,
+        "deadline_seconds": deadline,
+        "unprotected_p99": round(unprotected_p99, 1),
+        "protected_p99": round(protected_p99, 1),
+        # Completed queries can never exceed the deadline; the open
+        # fleet's tail has no such bound under chaos.
+        "protected_p99_bounded": protected_p99 <= deadline,
+        "unprotected_completed": open_fleet["completed"],
+        "protected_completed": protected_fleet["completed"],
+        "unprotected_goodput": round(
+            open_fleet["completed"] / open_fleet["elapsed"], 6
+        ),
+        "protected_goodput": round(resilience["goodput"], 6),
+        "shed": resilience["shed"],
+        "deadline_aborts": resilience["deadline_aborts"],
+        "retries": resilience["retries"],
+        "breaker_opens": resilience["breaker"]["opens"],
+        "unprotected_seconds": round(unprotected_seconds, 3),
+        "protected_seconds": round(protected_seconds, 3),
+        "replay_identical": replay_identical,
+        "sharded_serial_vs_parallel_identical": sharded_identical,
     }
 
 
@@ -617,6 +731,19 @@ def main(argv=None) -> int:
         f"error {scale['max_percentile_relative_error']} "
         f"(budget {scale['relative_error_budget']}), shard-merge "
         f"order-invariant: {scale['shard_merge_order_invariant']}"
+    )
+
+    print(f"[bench] overload protection under chaos...", flush=True)
+    results["overload"] = bench_overload(args.workers, quick=args.quick)
+    overload = results["overload"]
+    print(
+        f"         p99 {overload['unprotected_p99']}s open vs "
+        f"{overload['protected_p99']}s protected (deadline "
+        f"{overload['deadline_seconds']}s, bounded: "
+        f"{overload['protected_p99_bounded']}), shed {overload['shed']}, "
+        f"aborts {overload['deadline_aborts']}, replay identical: "
+        f"{overload['replay_identical']}, sharded identical: "
+        f"{overload['sharded_serial_vs_parallel_identical']}"
     )
 
     print(f"[bench] concurrent workload fleet + sweep...", flush=True)
