@@ -290,6 +290,15 @@ def _print_fleet(fleet: dict) -> None:
         f"relocations: {fleet['relocations']['total']} "
         f"({fleet['relocations']['per_query_mean']:.2f}/query)"
     )
+    coordination = fleet.get("fleet")
+    if coordination:
+        print(
+            f"fleet planner: {coordination['grants']} relocations granted / "
+            f"{coordination['denies']} denied "
+            f"({coordination['grant_rate']:.0%} grant rate), "
+            f"{coordination['rebalances']} rebalances, "
+            f"{coordination['planner_candidates']} candidates evaluated"
+        )
     resilience = fleet.get("resilience")
     if resilience:
         breaker = resilience["breaker"]
@@ -374,6 +383,20 @@ def _overload_policy(args: argparse.Namespace):
     return None if policy.is_null() else policy
 
 
+def _fleet_policy(args: argparse.Namespace):
+    """A :class:`FleetPolicy` from the CLI flags, or None when off."""
+    if args.fleet_planner == "none":
+        return None
+    from repro.workload import FleetPolicy
+
+    return FleetPolicy(
+        mode=args.fleet_planner,
+        link_tokens=args.fleet_tokens,
+        token_refill_seconds=args.fleet_refill,
+        seed=args.seed,
+    )
+
+
 def cmd_workload(args: argparse.Namespace) -> int:
     from dataclasses import replace
 
@@ -412,6 +435,7 @@ def cmd_workload(args: argparse.Namespace) -> int:
         max_sim_time=args.max_time,
         metrics_mode=None if args.metrics == "auto" else args.metrics,
         overload=_overload_policy(args),
+        fleet=_fleet_policy(args),
     )
     if args.chaos:
         from repro.faults import reference_chaos_plan
@@ -705,6 +729,27 @@ def build_parser() -> argparse.ArgumentParser:
                           metavar="SECONDS",
                           help="close an open breaker after this long "
                                "(default 600)")
+    fleet = workload.add_argument_group(
+        "fleet coordination",
+        "joint placement across concurrent queries: planners see "
+        "contention-adjusted residual bandwidth and relocations pass "
+        "a deterministic per-link token-bucket arbiter; defaults off "
+        "(see docs/fleet.md)")
+    fleet.add_argument("--fleet-planner",
+                       choices=("none", "coordinated", "fair"),
+                       default="none",
+                       help="wrap every per-query planner with the fleet "
+                            "coordinator; 'fair' biases relocation grants "
+                            "toward the worst latency-to-SLO query "
+                            "(default none: blind per-query planning)")
+    fleet.add_argument("--fleet-tokens", type=float, default=2.0,
+                       metavar="N",
+                       help="token-bucket capacity per link/host "
+                            "(default 2)")
+    fleet.add_argument("--fleet-refill", type=float, default=120.0,
+                       metavar="SECONDS",
+                       help="seconds to regenerate one relocation token "
+                            "(default 120)")
     workload.set_defaults(func=cmd_workload)
 
     trace = sub.add_parser(

@@ -128,6 +128,7 @@ class GlobalController:
                     tracer=tracer,
                     now=env.now,
                 )
+                runtime.metrics.note_plan(dry)
                 stale = [
                     (a, b)
                     for a, b in sorted(dry.links_queried)
@@ -152,6 +153,7 @@ class GlobalController:
         result = self.planner.plan(
             estimator, runtime.current_placement, tracer=tracer, now=env.now
         )
+        runtime.metrics.note_plan(result)
         if result.placement == runtime.current_placement:
             return
         # Hysteresis: estimate jitter should not trigger change-overs.

@@ -68,6 +68,16 @@ class RunMetrics:
     host_downtime_seconds: float = 0.0
     probe_timeouts: int = 0
     planner_fallbacks: int = 0
+    #: Planner-effort totals (diagnostic — excluded from :meth:`summary`
+    #: like the kernel accounting below, so golden fingerprints stay
+    #: invariant; the workload sinks surface them as fleet counters).
+    #: Improvement rounds summed over every planner search of the run.
+    planner_rounds: int = 0
+    #: Single-move candidates evaluated, summed over every search.
+    planner_candidates: int = 0
+    #: Distinct links each search consulted, summed over searches (the
+    #: per-search ``links`` field of ``planner.search`` events).
+    planner_links_queried: int = 0
     #: Kernel accounting (diagnostic only — deliberately excluded from
     #: :meth:`summary` so the golden fingerprints stay invariant under
     #: kernel-scheduling changes; a forced-slow-path run differs from a
@@ -78,6 +88,17 @@ class RunMetrics:
     fluid_transfers: int = 0
     #: Transfers completed via the full DES process path.
     des_transfers: int = 0
+
+    def note_plan(self, result) -> None:
+        """Accumulate one :class:`~repro.placement.base.PlanResult`'s effort.
+
+        Called exactly where ``planner.search`` events are emitted, so
+        trace replay (:func:`repro.obs.summary.replay_aggregates`)
+        rebuilds these totals bit-exactly from the event stream.
+        """
+        self.planner_rounds += result.rounds
+        self.planner_candidates += result.candidates_evaluated
+        self.planner_links_queried += len(result.links_queried)
 
     @property
     def completion_time(self) -> float:

@@ -65,14 +65,19 @@ def build_query(
     tracer=None,
     namespace: str = "",
     query_id: str | None = None,
+    planner_wrapper=None,
 ) -> Runtime:
     """Assemble one query's tree, placement, actors and controllers.
 
     The network/monitoring substrate is supplied by the caller, so several
     queries can share it (:mod:`repro.workload`).  ``namespace`` prefixes
     this query's actor ids at the network boundary; ``query_id`` tags its
-    messages and trace events.  With the defaults (empty namespace, no
-    query id) the constructed query is byte-identical to what
+    messages and trace events.  ``planner_wrapper`` — a callable
+    ``(planner, stage) -> Planner`` with stage ``"initial"`` or
+    ``"controller"`` — lets a fleet coordinator interpose on every
+    planning opportunity (:mod:`repro.fleet`); None keeps the planners
+    bare.  With the defaults (empty namespace, no query id, no wrapper)
+    the constructed query is byte-identical to what
     :func:`build_simulation` always built, which the single-query identity
     test pins.
     """
@@ -101,7 +106,7 @@ def build_query(
         for index, server in enumerate(tree.servers())
     }
     server_replicas = derive_server_replicas(spec, server_hosts_map)
-    initial = _initial_placement(
+    initial_result = _initial_placement(
         spec,
         tree,
         cost_model,
@@ -109,6 +114,7 @@ def build_query(
         server_hosts_map,
         server_replicas,
         tracer=tracer,
+        planner_wrapper=planner_wrapper,
     )
 
     runtime = Runtime(
@@ -118,12 +124,13 @@ def build_query(
         tree,
         workload,
         spec,
-        initial,
+        initial_result.placement,
         server_replicas=server_replicas,
         tracer=tracer,
         namespace=namespace,
         query_id=query_id,
     )
+    runtime.metrics.note_plan(initial_result)
 
     client_actor = ClientActor(runtime, tree.client)
     runtime.client_actor = client_actor
@@ -143,6 +150,8 @@ def build_query(
             cost_model,
             server_replicas=server_replicas,
         )
+        if planner_wrapper is not None:
+            planner = planner_wrapper(planner, "controller")
         controller = GlobalController(runtime, planner, client_actor)
         env.process(controller.run(), name=f"{namespace}global-controller")
     elif spec.algorithm is Algorithm.LOCAL:
@@ -153,6 +162,8 @@ def build_query(
             cost_model,
             extra_candidates=spec.local_extra_candidates,
         )
+        if planner_wrapper is not None:
+            planner = planner_wrapper(planner, "controller")
         LocalController(runtime, planner).start()
 
     return runtime
@@ -219,8 +230,9 @@ def _initial_placement(
     server_hosts_map: dict[str, str],
     server_replicas: "dict[str, tuple[str, ...]] | None" = None,
     tracer=None,
-) -> Placement:
-    """Initial operator placement per algorithm (§2).
+    planner_wrapper=None,
+):
+    """Initial operator placement per algorithm (§2), as a PlanResult.
 
     download-all starts (and stays) with every operator at the client; the
     other three algorithms start from a one-shot plan computed with the
@@ -243,7 +255,9 @@ def _initial_placement(
         cost_model,
         server_replicas=server_replicas,
     )
-    return planner.plan(estimator, download, tracer=tracer).placement
+    if planner_wrapper is not None:
+        planner = planner_wrapper(planner, "initial")
+    return planner.plan(estimator, download, tracer=tracer)
 
 
 def run_simulation(spec: SimulationSpec, tracer=None) -> RunMetrics:

@@ -1,0 +1,121 @@
+"""Coordination tallies carried by every workload metrics sink.
+
+Mirrors :class:`repro.workload.overload.ResilienceCounters`: all state
+is integers and an int map, every merge is commutative and associative,
+so sharded sinks fold order-invariantly.  ``engaged`` stays false until
+a coordination event moves a counter; a dormant instance adds nothing
+to the summary dict, which keeps no-coordinator summaries bit-identical
+to pre-fleet ones.
+
+The planner-effort totals (``planner_rounds``, ``planner_candidates``,
+``planner_links_queried``) accumulate on *every* run — they come from
+:class:`~repro.placement.base.PlanResult` via per-query metrics — but
+only surface in the summary when coordination engaged, so the
+measurable overhead of coordination rides in the same block without
+perturbing defaults-off output.  ``planner_links_queried`` is the sum
+over searches of each search's *distinct* link count (the ``links``
+field of ``planner.search`` events), which is what replays bit-exactly
+from a trace.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+
+class CoordinationCounters:
+    """Fleet-coordination tallies (claims, grants, denies, effort)."""
+
+    __slots__ = (
+        "claims",
+        "grants",
+        "denies",
+        "rebalances",
+        "granted_moves",
+        "denied_links",
+        "planner_rounds",
+        "planner_candidates",
+        "planner_links_queried",
+    )
+
+    def __init__(self) -> None:
+        self.claims = 0
+        self.grants = 0
+        self.denies = 0
+        self.rebalances = 0
+        self.granted_moves = 0
+        self.denied_links: dict[str, int] = {}
+        self.planner_rounds = 0
+        self.planner_candidates = 0
+        self.planner_links_queried = 0
+
+    @property
+    def engaged(self) -> bool:
+        """True once any *coordination* event moved a counter.
+
+        Planner-effort totals deliberately do not engage the block:
+        they move on every run, coordinated or not.
+        """
+        return bool(
+            self.claims or self.grants or self.denies or self.rebalances
+        )
+
+    def note(
+        self,
+        kind: str,
+        class_name: Optional[str] = None,
+        link: Optional[str] = None,
+        value: Any = None,
+    ) -> None:
+        """Record one coordination transition (live engine or replay)."""
+        if kind == "claim":
+            self.claims += 1
+        elif kind == "grant":
+            self.grants += 1
+            self.granted_moves += int(value or 0)
+        elif kind == "deny":
+            self.denies += 1
+            if link is not None:
+                self.denied_links[link] = self.denied_links.get(link, 0) + 1
+        elif kind == "rebalance":
+            self.rebalances += 1
+        else:
+            raise ValueError(f"unknown coordination event kind {kind!r}")
+
+    def note_effort(self, rounds: int, candidates: int, links: int) -> None:
+        """Accumulate one query's planner-effort totals."""
+        self.planner_rounds += rounds
+        self.planner_candidates += candidates
+        self.planner_links_queried += links
+
+    def merge(self, other: "CoordinationCounters") -> None:
+        self.claims += other.claims
+        self.grants += other.grants
+        self.denies += other.denies
+        self.rebalances += other.rebalances
+        self.granted_moves += other.granted_moves
+        for link, count in other.denied_links.items():
+            self.denied_links[link] = self.denied_links.get(link, 0) + count
+        self.planner_rounds += other.planner_rounds
+        self.planner_candidates += other.planner_candidates
+        self.planner_links_queried += other.planner_links_queried
+
+    def block(self) -> dict[str, Any]:
+        """The summary dict's ``"fleet"`` block.
+
+        Everything derives from merged integer counters, so the block is
+        identical no matter the shard fold order.
+        """
+        decisions = self.grants + self.denies
+        return {
+            "claims": self.claims,
+            "grants": self.grants,
+            "denies": self.denies,
+            "rebalances": self.rebalances,
+            "granted_moves": self.granted_moves,
+            "grant_rate": self.grants / decisions if decisions else 1.0,
+            "denied_links": dict(sorted(self.denied_links.items())),
+            "planner_rounds": self.planner_rounds,
+            "planner_candidates": self.planner_candidates,
+            "planner_links_queried": self.planner_links_queried,
+        }

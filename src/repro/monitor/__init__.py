@@ -18,18 +18,41 @@ of Komodo / the Network Weather Service):
 
 :class:`~repro.monitor.system.MonitoringSystem` wires all of this onto a
 :class:`~repro.net.Network`.
+
+Forecasting (NWS-style) lives in :mod:`repro.monitor.forecast`: a bank of
+:class:`Predictor` strategies (:class:`LastValue`, :class:`SlidingMean`,
+:class:`SlidingMedian`, :class:`Ewma`) raced per link by an
+:class:`AdaptiveForecaster` that forwards whichever predictor currently
+has the lowest decayed squared log error; :func:`default_bank` builds
+the standard bank.
 """
 
 from repro.monitor.cache import BandwidthCache, CacheEntry
+from repro.monitor.forecast import (
+    AdaptiveForecaster,
+    Ewma,
+    LastValue,
+    Predictor,
+    SlidingMean,
+    SlidingMedian,
+    default_bank,
+)
 from repro.monitor.piggyback import PIGGYBACK_BUDGET_BYTES, decode_piggyback, encode_piggyback
 from repro.monitor.system import MonitoringConfig, MonitoringSystem
 
 __all__ = [
+    "AdaptiveForecaster",
     "BandwidthCache",
     "CacheEntry",
+    "Ewma",
+    "LastValue",
     "MonitoringConfig",
     "MonitoringSystem",
     "PIGGYBACK_BUDGET_BYTES",
+    "Predictor",
+    "SlidingMean",
+    "SlidingMedian",
     "decode_piggyback",
+    "default_bank",
     "encode_piggyback",
 ]

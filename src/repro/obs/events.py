@@ -122,6 +122,24 @@ Point events
 ``breaker.close``
     A circuit breaker's cooldown elapsed; the host serves normal plans
     again.  Fields: ``host``, ``open_seconds``.
+``fleet.claim``
+    The fleet coordinator registered a query's link claims (at launch,
+    or after a granted relocation updated its placement).  Fields:
+    ``query_class``, ``links`` (distinct cross-host links claimed).
+``fleet.grant``
+    The relocation-budget arbiter granted a proposed placement change.
+    Fields: ``query_class``, ``moves`` (count of actors whose host
+    changes), ``links`` (distinct link/host buckets the moveset
+    charges), ``urgency``.
+``fleet.deny``
+    The arbiter denied a proposed placement change (token bucket or
+    fairness reserve exhausted on some link/host).  Fields:
+    ``query_class``, ``moves``, ``bottleneck`` (the ``"a|b"`` link or
+    host bucket that ran dry), ``urgency``.
+``fleet.rebalance``
+    A granted relocation re-registered the query's claims; the
+    coordinator's residual-bandwidth view changed.  Fields:
+    ``query_class``, ``links_before``, ``links_after``.
 
 Span events
 -----------
@@ -197,6 +215,10 @@ QUERY_RETRY = "query.retry"
 RETRY_BUDGET_EXHAUSTED = "retry.budget_exhausted"
 BREAKER_OPEN = "breaker.open"
 BREAKER_CLOSE = "breaker.close"
+FLEET_CLAIM = "fleet.claim"
+FLEET_GRANT = "fleet.grant"
+FLEET_DENY = "fleet.deny"
+FLEET_REBALANCE = "fleet.rebalance"
 
 #: Event type -> "point" | "span".  Exporters use this to pick the Chrome
 #: ``trace_event`` phase; anything absent defaults to "point".
@@ -237,6 +259,10 @@ EVENT_KINDS: dict[str, str] = {
     RETRY_BUDGET_EXHAUSTED: "point",
     BREAKER_OPEN: "point",
     BREAKER_CLOSE: "point",
+    FLEET_CLAIM: "point",
+    FLEET_GRANT: "point",
+    FLEET_DENY: "point",
+    FLEET_REBALANCE: "point",
 }
 
 SPAN_EVENTS = frozenset(k for k, v in EVENT_KINDS.items() if v == "span")

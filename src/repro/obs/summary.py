@@ -85,6 +85,9 @@ def replay_aggregates(records: Iterable[dict[str, Any]]) -> dict[str, Any]:
         "host_downtime_seconds": 0.0,
         "probe_timeouts": 0,
         "planner_fallbacks": 0,
+        "planner_rounds": 0,
+        "planner_candidates": 0,
+        "planner_links_queried": 0,
     }
     for event in events_only(records):
         etype = event["type"]
@@ -110,6 +113,10 @@ def replay_aggregates(records: Iterable[dict[str, Any]]) -> dict[str, Any]:
             )
         elif etype == ev.PLANNER_RUN:
             agg["planner_runs"] += 1
+        elif etype == ev.PLANNER_SEARCH:
+            agg["planner_rounds"] += event.get("rounds", 0)
+            agg["planner_candidates"] += event.get("candidates", 0)
+            agg["planner_links_queried"] += event.get("links", 0)
         elif etype == ev.PLACEMENT_INSTALL:
             agg["placements_installed"] += 1
         elif etype == ev.BARRIER_ROUND:

@@ -21,7 +21,7 @@ protocol (construct them uniformly with :func:`planner_for`):
   wavefront and vector propagation live in :mod:`repro.engine`.
 """
 
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from repro.dataflow.cost import CostModel
 from repro.dataflow.tree import CombinationTree
@@ -35,6 +35,58 @@ from repro.placement.local_rules import (
     choose_local_site,
     is_on_critical_path,
 )
+
+#: Planner-factory signature: ``(tree, hosts, cost_model, *,
+#: server_replicas=None, max_rounds=200, extra_candidates=0) -> Planner``.
+PlannerFactory = Callable[..., Planner]
+
+_PLANNER_REGISTRY: "dict[str, PlannerFactory]" = {}
+
+
+def register_planner(name: str, factory: PlannerFactory) -> None:
+    """Register a planner factory under an algorithm name.
+
+    Registration is idempotent only for the identical factory; a second
+    registration of the same name with a different factory raises, so a
+    stray import cannot silently shadow a built-in algorithm.
+    """
+    existing = _PLANNER_REGISTRY.get(name)
+    if existing is not None and existing is not factory:
+        raise ValueError(f"planner {name!r} already registered")
+    _PLANNER_REGISTRY[name] = factory
+
+
+def planner_registry() -> "tuple[str, ...]":
+    """The registered algorithm names, sorted for determinism."""
+    return tuple(sorted(_PLANNER_REGISTRY))
+
+
+def _make_one_shot(tree, hosts, cost_model, *, server_replicas=None,
+                   max_rounds=200, extra_candidates=0):
+    return OneShotPlanner(tree, hosts, cost_model, max_rounds, server_replicas)
+
+
+def _make_global(tree, hosts, cost_model, *, server_replicas=None,
+                 max_rounds=200, extra_candidates=0):
+    return GlobalPlanner(tree, hosts, cost_model, max_rounds, server_replicas)
+
+
+def _make_local(tree, hosts, cost_model, *, server_replicas=None,
+                max_rounds=200, extra_candidates=0):
+    return LocalRulesPlanner(
+        tree, hosts, cost_model, extra_candidates=extra_candidates
+    )
+
+
+def _make_download_all(tree, hosts, cost_model, *, server_replicas=None,
+                       max_rounds=200, extra_candidates=0):
+    return DownloadAllPlanner(tree, hosts, cost_model)
+
+
+register_planner(OneShotPlanner.name, _make_one_shot)
+register_planner(GlobalPlanner.name, _make_global)
+register_planner(LocalRulesPlanner.name, _make_local)
+register_planner(DownloadAllPlanner.name, _make_download_all)
 
 
 def planner_for(
@@ -50,26 +102,28 @@ def planner_for(
     """Construct the planner for an algorithm name (or enum).
 
     ``algorithm`` may be a string (``"download-all"``, ``"one-shot"``,
-    ``"global"``, ``"local"``) or anything with a matching ``.value``
-    (e.g. :class:`repro.engine.config.Algorithm`); keying on the value
-    keeps this module import-independent of the engine.
+    ``"global"``, ``"local"``, or any name added through
+    :func:`register_planner`, e.g. the ``fleet-*`` family) or anything
+    with a matching ``.value`` (e.g.
+    :class:`repro.engine.config.Algorithm`); keying on the value keeps
+    this module import-independent of the engine.
     """
     key = getattr(algorithm, "value", algorithm)
-    if key == OneShotPlanner.name:
-        return OneShotPlanner(
-            tree, hosts, cost_model, max_rounds, server_replicas
-        )
-    if key == GlobalPlanner.name:
-        return GlobalPlanner(
-            tree, hosts, cost_model, max_rounds, server_replicas
-        )
-    if key == LocalRulesPlanner.name:
-        return LocalRulesPlanner(
-            tree, hosts, cost_model, extra_candidates=extra_candidates
-        )
-    if key == DownloadAllPlanner.name:
-        return DownloadAllPlanner(tree, hosts, cost_model)
-    raise ValueError(f"unknown placement algorithm {algorithm!r}")
+    factory = _PLANNER_REGISTRY.get(key)
+    if factory is None and isinstance(key, str) and key.startswith("fleet-"):
+        import repro.fleet  # noqa: F401  (registers the fleet family)
+
+        factory = _PLANNER_REGISTRY.get(key)
+    if factory is None:
+        raise ValueError(f"unknown placement algorithm {algorithm!r}")
+    return factory(
+        tree,
+        hosts,
+        cost_model,
+        server_replicas=server_replicas,
+        max_rounds=max_rounds,
+        extra_candidates=extra_candidates,
+    )
 
 
 __all__ = [
@@ -84,4 +138,6 @@ __all__ = [
     "download_all_placement",
     "is_on_critical_path",
     "planner_for",
+    "planner_registry",
+    "register_planner",
 ]

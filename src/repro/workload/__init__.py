@@ -18,6 +18,12 @@ links, NICs, monitoring substrate and fault timeline.
   deadlines and SLO targets, per-client retry budgets, and per-host
   circuit breakers that reroute to degraded plans under chaos.  All
   knobs default off, keeping unprotected runs bit-identical.
+* :class:`FleetPolicy` / :class:`FleetCoordinator` (re-exported from
+  :mod:`repro.fleet`) — fleet-aware joint planning: planners see
+  contention-adjusted residual bandwidth and relocations pass through a
+  deterministic per-link token-bucket arbiter (optionally
+  SLO-fairness-biased).  ``WorkloadSpec.fleet=None`` keeps every query
+  planning blindly, bit-identical to the pre-fleet engine.
 
 Fleet metrics flow through one :class:`MetricsSink` funnel: exact
 (``workload_schema: 1``) below ``WorkloadSpec.exact_metrics_threshold``,
@@ -29,6 +35,7 @@ a shared trace can be sliced per query
 (:func:`repro.obs.summary.query_records`) and replayed bit-exactly.
 """
 
+from repro.fleet import CoordinationCounters, FleetCoordinator, FleetPolicy
 from repro.workload.arrivals import (
     Arrivals,
     ClosedLoop,
@@ -87,6 +94,9 @@ from repro.workload.sweep import (
 )
 
 __all__ = [
+    "CoordinationCounters",
+    "FleetCoordinator",
+    "FleetPolicy",
     "Arrivals",
     "ClosedLoop",
     "OpenLoop",

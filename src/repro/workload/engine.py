@@ -26,6 +26,7 @@ from repro.engine.metrics import RunMetrics
 from repro.engine.runtime import Runtime
 from repro.engine.simulation import build_query
 from repro.faults import FaultInjector
+from repro.fleet import FleetCoordinator
 from repro.monitor.system import MonitoringSystem
 from repro.net.host import Host
 from repro.net.link import Link
@@ -230,6 +231,15 @@ class WorkloadEngine:
         network, monitoring = self._build_substrate(env)
         network.observers.append(sink.observe)
 
+        # Fleet-aware joint planning: one coordinator shared by every
+        # query, consulted at each planning opportunity.  None keeps all
+        # planners blind — the bit-identical default path.
+        coordinator: Optional[FleetCoordinator] = None
+        if spec.fleet_engaged:
+            coordinator = FleetCoordinator(
+                spec.fleet, sink=sink, clock=lambda: env.now
+            )
+
         # A lone query runs un-namespaced so its execution is
         # bit-identical to run_simulation (see the identity test).
         # Overload protection forces namespacing: retries re-register
@@ -279,6 +289,8 @@ class WorkloadEngine:
 
         def note_done(plan: QueryPlan) -> None:
             def _completed(_event) -> None:
+                if coordinator is not None:
+                    coordinator.query_done(plan.query_id)
                 if streaming:
                     finalize(plan, truncated=plan.deadline_aborted)
                 if controller is None:
@@ -321,7 +333,19 @@ class WorkloadEngine:
                 tracer=scoped,
                 namespace=namespace,
                 query_id=qid,
+                planner_wrapper=(
+                    coordinator.wrapper_for(qid)
+                    if coordinator is not None
+                    else None
+                ),
             )
+            if coordinator is not None:
+                coordinator.query_launched(
+                    qid,
+                    runtime,
+                    class_name=scheduled.qclass.name,
+                    slo=scheduled.qclass.slo_target,
+                )
             if self._injector is not None:
                 runtime.faults = self._injector
             plan = QueryPlan(

@@ -46,10 +46,16 @@ from typing import Any, Iterable, Iterator, Optional, Protocol, Sequence
 import numpy as np
 
 from repro.engine.metrics import RunMetrics
+from repro.fleet.counters import CoordinationCounters
 from repro.obs.events import (
     BREAKER_CLOSE,
     BREAKER_OPEN,
+    FLEET_CLAIM,
+    FLEET_DENY,
+    FLEET_GRANT,
+    FLEET_REBALANCE,
     LINK_TRANSFER,
+    PLANNER_SEARCH,
     QUERY_DEADLINE_ABORT,
     QUERY_QUEUED,
     QUERY_RETRY,
@@ -111,6 +117,10 @@ class QueryStats:
     relocations: int
     aborted_relocations: int
     bytes_on_wire: float
+    #: Planner-effort totals (trailing defaults keep old pickles valid).
+    planner_rounds: int = 0
+    planner_candidates: int = 0
+    planner_links_queried: int = 0
 
     @property
     def finished(self) -> bool:
@@ -143,6 +153,9 @@ class QueryStats:
             relocations=metrics.relocations,
             aborted_relocations=metrics.aborted_relocations,
             bytes_on_wire=metrics.bytes_on_wire,
+            planner_rounds=metrics.planner_rounds,
+            planner_candidates=metrics.planner_candidates,
+            planner_links_queried=metrics.planner_links_queried,
         )
 
 
@@ -175,6 +188,14 @@ class MetricsSink(Protocol):
         value: Any = None,
     ) -> None: ...
 
+    def coordination_event(
+        self,
+        kind: str,
+        class_name: Optional[str] = None,
+        link: Optional[str] = None,
+        value: Any = None,
+    ) -> None: ...
+
     def merge(self, other: "MetricsSink") -> "MetricsSink": ...
 
     def summary(
@@ -200,6 +221,21 @@ class _FleetMetricsBase:
     @property
     def resilience(self) -> ResilienceCounters:
         return self._resilience
+
+    def coordination_event(
+        self,
+        kind: str,
+        class_name: Optional[str] = None,
+        link: Optional[str] = None,
+        value: Any = None,
+    ) -> None:
+        """Record one fleet-coordination transition (see
+        :class:`~repro.fleet.counters.CoordinationCounters`)."""
+        self._coordination.note(kind, class_name=class_name, link=link, value=value)
+
+    @property
+    def coordination(self) -> CoordinationCounters:
+        return self._coordination
 
     def observe(self, observation) -> None:
         """Adapter matching the :class:`~repro.net.network.Network`
@@ -273,6 +309,7 @@ class ExactFleetMetrics(_FleetMetricsBase):
         self._stats: list[QueryStats] = []
         self._links: dict[tuple[str, str], _LinkAccumulator] = {}
         self._resilience = ResilienceCounters()
+        self._coordination = CoordinationCounters()
         self._was_merged = False
 
     def query_started(
@@ -282,6 +319,11 @@ class ExactFleetMetrics(_FleetMetricsBase):
 
     def query_finished(self, stats: QueryStats) -> None:
         self._stats.append(stats)
+        self._coordination.note_effort(
+            stats.planner_rounds,
+            stats.planner_candidates,
+            stats.planner_links_queried,
+        )
 
     def link_transfer(
         self,
@@ -314,6 +356,7 @@ class ExactFleetMetrics(_FleetMetricsBase):
             else:
                 mine.merge(usage)
         self._resilience.merge(other._resilience)
+        self._coordination.merge(other._coordination)
         self._was_merged = True
         return self
 
@@ -350,6 +393,11 @@ class ExactFleetMetrics(_FleetMetricsBase):
                 completed=sum(1 for s in stats if s.finished),
                 elapsed=elapsed,
             )
+        if self._coordination.engaged:
+            # Same evidence-driven gating: only fleet-coordination events
+            # (claim/grant/deny/rebalance) surface the block, so blind
+            # per-query planning keeps its summary bit-identical.
+            payload["fleet"] = self._coordination.block()
         return payload
 
 
@@ -405,6 +453,7 @@ class StreamingFleetMetrics(_FleetMetricsBase):
         self._links: dict[tuple[str, str], _LinkAccumulator] = {}
         self._inflight: dict[str, str] = {}
         self._resilience = ResilienceCounters()
+        self._coordination = CoordinationCounters()
 
     def _class(self, name: str) -> _ClassStats:
         stats = self._classes.get(name)
@@ -438,6 +487,11 @@ class StreamingFleetMetrics(_FleetMetricsBase):
             self._client_latency_sum[index] += latency
         self._relocations += stats.relocations
         self._aborted_relocations += stats.aborted_relocations
+        self._coordination.note_effort(
+            stats.planner_rounds,
+            stats.planner_candidates,
+            stats.planner_links_queried,
+        )
 
     def link_transfer(
         self,
@@ -499,6 +553,7 @@ class StreamingFleetMetrics(_FleetMetricsBase):
                 mine_link.merge(usage)
         self._inflight.update(other._inflight)
         self._resilience.merge(other._resilience)
+        self._coordination.merge(other._coordination)
         return self
 
     def _sketch_block(self, sketch: QuantileSketch) -> dict[str, Any]:
@@ -579,6 +634,8 @@ class StreamingFleetMetrics(_FleetMetricsBase):
                 completed=self._completed,
                 elapsed=elapsed,
             )
+        if self._coordination.engaged:
+            payload["fleet"] = self._coordination.block()
         return payload
 
 
@@ -658,6 +715,37 @@ def _replay_resilience(
     )
 
 
+#: Trace event type -> coordination-counter kind, for replay.
+_COORDINATION_EVENTS = {
+    FLEET_CLAIM: "claim",
+    FLEET_GRANT: "grant",
+    FLEET_DENY: "deny",
+    FLEET_REBALANCE: "rebalance",
+}
+
+
+def _replay_coordination(
+    metrics: MetricsSink, rtype: str, record: dict[str, Any]
+) -> bool:
+    """Feed one fleet-coordination trace event into the sink.
+
+    Returns True when the record was a coordination event, so callers
+    can stop matching.  ``grant`` carries the granted move count and
+    ``deny`` its bottleneck bucket, mirroring the live
+    :class:`~repro.fleet.coordinator.FleetCoordinator` calls exactly.
+    """
+    kind = _COORDINATION_EVENTS.get(rtype)
+    if kind is None:
+        return False
+    metrics.coordination_event(
+        kind,
+        class_name=record.get("query_class"),
+        link=record.get("bottleneck"),
+        value=record.get("moves"),
+    )
+    return True
+
+
 def note_slo(
     metrics: MetricsSink, stats: QueryStats, slo: Optional[float]
 ) -> None:
@@ -701,7 +789,7 @@ def _replay_exact(
                 metrics.resilience_event("degraded", class_names[qid])
         elif rtype == RUN_END:
             elapsed = max(elapsed, record["t"])
-        else:
+        elif not _replay_coordination(metrics, rtype, record):
             _replay_resilience(metrics, rtype, record)
     for qid in order:
         metrics.query_started(qid, class_names[qid], issued[qid])
@@ -739,6 +827,10 @@ def _replay_streaming(
     inflight: dict[str, tuple[str, str, float, Optional[float]]] = {}
     relocations: dict[str, int] = {}
     aborted: dict[str, int] = {}
+    #: Per-open-query planner effort (rounds, candidates, links) folded
+    #: into QueryStats at run.end — same totals the live RunMetrics
+    #: accumulates through note_plan, read back from planner.search.
+    effort: dict[str, list[int]] = {}
     elapsed = 0.0
     orphans = 0
     for record in records:
@@ -766,6 +858,7 @@ def _replay_streaming(
                 orphans += 1
                 continue
             class_name, algorithm, issued_at, slo = opened
+            rounds, candidates, links_queried = effort.pop(qid, (0, 0, 0))
             stats = QueryStats(
                 query_id=qid,
                 class_name=class_name,
@@ -777,6 +870,9 @@ def _replay_streaming(
                 relocations=relocations.pop(qid, 0),
                 aborted_relocations=aborted.pop(qid, 0),
                 bytes_on_wire=0.0,
+                planner_rounds=rounds,
+                planner_candidates=candidates,
+                planner_links_queried=links_queried,
             )
             metrics.query_finished(stats)
             note_slo(metrics, stats, slo)
@@ -792,7 +888,14 @@ def _replay_streaming(
             relocations[qid] = relocations.get(qid, 0) + 1
         elif rtype == RELOCATION_ABORT and qid is not None:
             aborted[qid] = aborted.get(qid, 0) + 1
-        else:
+        elif rtype == PLANNER_SEARCH and qid is not None:
+            bucket = effort.get(qid)
+            if bucket is None:
+                bucket = effort[qid] = [0, 0, 0]
+            bucket[0] += record.get("rounds", 0)
+            bucket[1] += record.get("candidates", 0)
+            bucket[2] += record.get("links", 0)
+        elif not _replay_coordination(metrics, rtype, record):
             _replay_resilience(metrics, rtype, record)
     return elapsed, orphans
 

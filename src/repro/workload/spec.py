@@ -25,6 +25,7 @@ import numpy as np
 from repro.engine.config import Algorithm, SimulationSpec
 from repro.experiments.config import ExperimentConfig, make_configuration
 from repro.faults.plan import FaultPlan
+from repro.fleet import FleetPolicy
 from repro.monitor.system import MonitoringConfig
 from repro.traces.study import TraceLibrary
 from repro.traces.trace import BandwidthTrace
@@ -144,6 +145,10 @@ class WorkloadSpec:
     #: class deadlines) admits everything and is bit-identical to the
     #: pre-overload engine.
     overload: Optional["OverloadPolicy"] = None
+    #: Fleet-aware joint planning (:class:`~repro.fleet.FleetPolicy`);
+    #: ``None`` keeps every query planning blindly against raw monitor
+    #: estimates, bit-identical to the pre-fleet engine.
+    fleet: Optional[FleetPolicy] = None
     monitoring: MonitoringConfig = field(default_factory=MonitoringConfig)
     startup_cost: float = 0.050
     nic_capacity: int = 1
@@ -208,6 +213,10 @@ class WorkloadSpec:
             raise ValueError("exact_metrics_threshold must be >= 0")
         if not (0.0 < self.metrics_relative_error < 1.0):
             raise ValueError("metrics_relative_error must be in (0, 1)")
+        if self.fleet is not None and not isinstance(self.fleet, FleetPolicy):
+            raise ValueError(
+                f"fleet must be a FleetPolicy or None, got {self.fleet!r}"
+            )
 
     # ---- derived ------------------------------------------------------
     @property
@@ -244,6 +253,12 @@ class WorkloadSpec:
     def overload_policy(self) -> OverloadPolicy:
         """The effective policy (a null one when nothing is set)."""
         return self.overload if self.overload is not None else OverloadPolicy()
+
+    @property
+    def fleet_engaged(self) -> bool:
+        """True when the engine must route planning through a
+        :class:`~repro.fleet.FleetCoordinator`."""
+        return self.fleet is not None
 
     def build_metrics(self):
         """The :class:`~repro.workload.sink.MetricsSink` for this fleet.

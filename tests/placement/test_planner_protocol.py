@@ -1,4 +1,4 @@
-"""All four placement algorithms conform to the Planner protocol."""
+"""Every registered planner family conforms to the Planner protocol."""
 
 from __future__ import annotations
 
@@ -6,9 +6,9 @@ import math
 
 import pytest
 
+import repro.fleet  # noqa: F401  — registers the fleet-* planner family
 from repro.dataflow.cost import CostModel, expected_output_sizes
 from repro.dataflow.tree import complete_binary_tree
-from repro.engine.config import Algorithm
 from repro.obs import Tracer
 from repro.obs.events import PLANNER_SEARCH
 from repro.placement import (
@@ -20,6 +20,7 @@ from repro.placement import (
     PlanResult,
     download_all_placement,
     planner_for,
+    planner_registry,
 )
 
 HOSTS = ["h0", "h1", "h2", "h3", "client"]
@@ -40,42 +41,59 @@ def estimator(a: str, b: str) -> float:
     return 50 * 1024.0
 
 
-@pytest.mark.parametrize("algorithm", list(Algorithm), ids=lambda a: a.value)
+@pytest.mark.parametrize("name", planner_registry())
 class TestProtocolConformance:
-    def test_factory_builds_conforming_planner(self, algorithm):
-        tree, cost_model, initial = make_problem()
-        planner = planner_for(algorithm, tree, HOSTS, cost_model)
-        assert isinstance(planner, Planner)
-        assert planner.name == algorithm.value
+    """Runs over the full ``planner_for`` registry — the four paper
+    algorithms plus the fleet-coordinated wrappers."""
 
-    def test_plan_returns_labelled_result(self, algorithm):
+    def test_factory_builds_conforming_planner(self, name):
         tree, cost_model, initial = make_problem()
-        planner = planner_for(algorithm, tree, HOSTS, cost_model)
+        planner = planner_for(name, tree, HOSTS, cost_model)
+        assert isinstance(planner, Planner)
+        assert planner.name == name
+
+    def test_plan_returns_labelled_result(self, name):
+        tree, cost_model, initial = make_problem()
+        planner = planner_for(name, tree, HOSTS, cost_model)
         result = planner.plan(estimator, initial, seed=7)
         assert isinstance(result, PlanResult)
-        assert result.algorithm == algorithm.value
+        assert result.algorithm == name
         assert math.isfinite(result.cost)
         assert set(result.placement.as_dict()) == set(initial.as_dict())
 
-    def test_plan_is_deterministic(self, algorithm):
+    def test_plan_is_deterministic(self, name):
         tree, cost_model, initial = make_problem()
-        planner = planner_for(algorithm, tree, HOSTS, cost_model)
+        planner = planner_for(name, tree, HOSTS, cost_model)
         a = planner.plan(estimator, initial, seed=3)
         b = planner.plan(estimator, initial, seed=3)
         assert a.placement.as_dict() == b.placement.as_dict()
         assert a.cost == b.cost
 
-    def test_plan_emits_one_search_event(self, algorithm):
+    def test_plan_emits_one_search_event(self, name):
         tree, cost_model, initial = make_problem()
-        planner = planner_for(algorithm, tree, HOSTS, cost_model)
+        planner = planner_for(name, tree, HOSTS, cost_model)
         tracer = Tracer()
         planner.plan(estimator, initial, tracer=tracer, now=5.0)
         searches = [
             e for e in tracer.events if e["type"] == PLANNER_SEARCH
         ]
         assert len(searches) == 1
-        assert searches[0]["algorithm"] == algorithm.value
+        assert searches[0]["algorithm"] == name
         assert searches[0]["t"] == 5.0
+
+    def test_fresh_factories_agree(self, name):
+        """Two independently built planners produce identical plans —
+        no hidden cross-instance state (fleet planners carry a private
+        coordinator each)."""
+        tree, cost_model, initial = make_problem()
+        a = planner_for(name, tree, HOSTS, cost_model).plan(
+            estimator, initial, seed=11
+        )
+        b = planner_for(name, tree, HOSTS, cost_model).plan(
+            estimator, initial, seed=11
+        )
+        assert a.placement.as_dict() == b.placement.as_dict()
+        assert a.cost == b.cost
 
 
 class TestFactory:

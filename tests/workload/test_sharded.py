@@ -8,6 +8,7 @@ import pytest
 from repro.engine.config import Algorithm
 from repro.workload import (
     ClosedLoop,
+    FleetPolicy,
     OverloadPolicy,
     QueryClass,
     WorkloadSpec,
@@ -181,6 +182,73 @@ class TestShardedResilience:
         assert (
             exact.fleet["resilience"] == streaming.fleet["resilience"]
         )
+
+
+def coordinated_spec(**overrides):
+    """A fleet whose shards all move coordination counters.
+
+    Replanning global queries under a one-token bucket with a slow
+    refill guarantees grants *and* denies in every shard; the merged
+    summary's ``fleet`` block must not depend on shard order.
+    """
+    defaults = dict(
+        classes=(
+            QueryClass(
+                name="g",
+                algorithm=Algorithm.GLOBAL,
+                overrides={"relocation_period": 60.0},
+            ),
+        ),
+        num_clients=4,
+        queries_per_client=1,
+        arrivals=ClosedLoop(),
+        seed=9,
+        num_servers=4,
+        images_per_server=12,
+        fleet=FleetPolicy(
+            mode="coordinated", link_tokens=1.0, token_refill_seconds=600.0
+        ),
+    )
+    defaults.update(overrides)
+    return WorkloadSpec(**defaults)
+
+
+class TestShardedCoordination:
+    def test_fleet_block_merges_order_invariantly(self):
+        # Coordination is per-engine, so a sharded fleet is its own
+        # scenario — but within it, any shard permutation must fold to
+        # the identical fleet block (claims, grants, denies, bottleneck
+        # histogram and planner-effort totals all commute).
+        spec = coordinated_spec()
+        shard_specs = shard_clients(spec, 3)
+        assert len(shard_specs) >= 2
+        blocks = set()
+        for order in itertools.permutations(range(len(shard_specs))):
+            parts = [run_workload(shard_specs[i]).metrics for i in order]
+            merged = merge_sinks(parts)
+            summary = merged.summary(10000.0, scheduled=4)
+            blocks.add(json.dumps(summary["fleet"], sort_keys=True))
+        assert len(blocks) == 1
+        block = json.loads(next(iter(blocks)))
+        assert block["claims"] == 4
+        assert block["grants"] + block["denies"] > 0
+        assert block["planner_candidates"] > 0
+        assert block["planner_rounds"] > 0
+        assert block["planner_links_queried"] > 0
+
+    def test_serial_matches_parallel_with_fleet(self):
+        spec = coordinated_spec()
+        serial = run_workload_sharded(spec, 3, workers=1)
+        parallel = run_workload_sharded(spec, 3, workers=3)
+        assert serial.fleet == parallel.fleet
+        assert serial.fleet["fleet"]["claims"] == 4
+
+    def test_streaming_shards_match_exact_shards(self):
+        exact = run_workload_sharded(coordinated_spec(), 3, workers=1)
+        streaming = run_workload_sharded(
+            coordinated_spec(metrics_mode="streaming"), 3, workers=1
+        )
+        assert exact.fleet["fleet"] == streaming.fleet["fleet"]
 
 
 class TestSweepWithShards:

@@ -22,7 +22,11 @@ benchmarks the kernel/trace hot paths:
 * overload protection under chaos — the same oversubscribed fleet wide
   open vs protected (admission + deadlines + retries + breakers):
   protected p99 stays under the deadline, counters reconcile with a
-  trace replay and across a 3-way shard split.
+  trace replay and across a 3-way shard split;
+* fleet-aware joint planning — a chaos-stressed fleet of replanning
+  global queries blind vs coordinated vs fair: the coordinator's
+  residual-bandwidth view and relocation budget cut fleet p99 and
+  churn, with the same replay and shard reconciliation asserted.
 
 Writes ``BENCH_sweep.json`` (see ``docs/performance.md`` for how to read
 it).  Run from the repo root::
@@ -286,6 +290,110 @@ def bench_overload(workers: int, quick: bool = False) -> dict:
         "breaker_opens": resilience["breaker"]["opens"],
         "unprotected_seconds": round(unprotected_seconds, 3),
         "protected_seconds": round(protected_seconds, 3),
+        "replay_identical": replay_identical,
+        "sharded_serial_vs_parallel_identical": sharded_identical,
+    }
+
+
+def bench_fleet_planner(workers: int) -> dict:
+    """Fleet-aware joint planning vs blind per-query planning.
+
+    Runs the same chaos-stressed closed-loop fleet (six global queries
+    replanning every 30 s while the reference chaos plan degrades links
+    under them) three ways: blind (``fleet=None``), coordinated, and
+    fair.  The fleet is already CI-sized (a few seconds end to end), so
+    ``--quick`` does not shrink it.  Blind planners thrash — every query chases the same
+    post-fault bandwidth and relocates over saturated links — while the
+    coordinator's residual-bandwidth view plus the per-link relocation
+    budget caps fleet-wide churn.  The leg reports fleet p99 and Jain
+    fairness for all three, asserts the arbiter actually engaged
+    (grants *and* denies), and reconciles the coordinated run against a
+    bit-exact trace replay and a 3-way client-hash shard split.
+    """
+    from dataclasses import replace as dc_replace
+
+    from repro.faults import reference_chaos_plan
+    from repro.workload import (
+        ClosedLoop,
+        FleetPolicy,
+        QueryClass,
+        WorkloadSpec,
+        fleet_from_trace,
+        run_workload,
+        run_workload_sharded,
+    )
+
+    def make_spec(fleet):
+        spec = WorkloadSpec(
+            classes=(
+                QueryClass(
+                    name="global",
+                    algorithm=Algorithm.GLOBAL,
+                    slo_target=2000.0,
+                    overrides={"relocation_period": 30.0},
+                ),
+            ),
+            num_clients=6,
+            queries_per_client=1,
+            arrivals=ClosedLoop(),
+            seed=17,
+            num_servers=4,
+            images_per_server=24,
+            fleet=fleet,
+        )
+        return dc_replace(
+            spec, fault_plan=reference_chaos_plan(spec.all_hosts, seed=3)
+        )
+
+    policy = FleetPolicy(
+        mode="coordinated", link_tokens=1.0, token_refill_seconds=600.0
+    )
+    fair_policy = dc_replace(policy, mode="fair")
+
+    run_workload(make_spec(None))  # warm caches outside the timers
+    t0 = time.perf_counter()
+    blind = run_workload(make_spec(None)).fleet
+    blind_seconds = time.perf_counter() - t0
+
+    tracer = Tracer()
+    t0 = time.perf_counter()
+    coordinated_result = run_workload(make_spec(policy), tracer=tracer)
+    coordinated_seconds = time.perf_counter() - t0
+    coordinated = coordinated_result.fleet
+    fair = run_workload(make_spec(fair_policy)).fleet
+
+    block = coordinated["fleet"]
+    replay_identical = fleet_from_trace(tracer.events) == coordinated
+
+    serial = run_workload_sharded(make_spec(policy), 3, workers=1)
+    parallel = run_workload_sharded(make_spec(policy), 3, workers=workers)
+    sharded_identical = serial.fleet == parallel.fleet
+
+    blind_p99 = blind["latency"]["p99"]
+    coordinated_p99 = coordinated["latency"]["p99"]
+    return {
+        "scheduled": blind["scheduled"],
+        "blind_p99": round(blind_p99, 1),
+        "coordinated_p99": round(coordinated_p99, 1),
+        "fair_p99": round(fair["latency"]["p99"], 1),
+        "blind_fairness_jain": round(blind["fairness_jain"], 4),
+        "coordinated_fairness_jain": round(
+            coordinated["fairness_jain"], 4
+        ),
+        "fair_fairness_jain": round(fair["fairness_jain"], 4),
+        "blind_relocations": blind["relocations"]["total"],
+        "coordinated_relocations": coordinated["relocations"]["total"],
+        "grants": block["grants"],
+        "denies": block["denies"],
+        "grant_rate": block["grant_rate"],
+        "planner_candidates": block["planner_candidates"],
+        "arbiter_engaged": block["grants"] > 0 and block["denies"] > 0,
+        "improves_p99_or_fairness": (
+            coordinated_p99 < blind_p99
+            or coordinated["fairness_jain"] > blind["fairness_jain"]
+        ),
+        "blind_seconds": round(blind_seconds, 3),
+        "coordinated_seconds": round(coordinated_seconds, 3),
         "replay_identical": replay_identical,
         "sharded_serial_vs_parallel_identical": sharded_identical,
     }
@@ -744,6 +852,21 @@ def main(argv=None) -> int:
         f"aborts {overload['deadline_aborts']}, replay identical: "
         f"{overload['replay_identical']}, sharded identical: "
         f"{overload['sharded_serial_vs_parallel_identical']}"
+    )
+
+    print(f"[bench] fleet-aware joint planning vs blind...", flush=True)
+    results["fleet_planner"] = bench_fleet_planner(args.workers)
+    planner = results["fleet_planner"]
+    print(
+        f"         p99 {planner['blind_p99']}s blind vs "
+        f"{planner['coordinated_p99']}s coordinated vs "
+        f"{planner['fair_p99']}s fair (improves: "
+        f"{planner['improves_p99_or_fairness']}), relocations "
+        f"{planner['blind_relocations']} -> "
+        f"{planner['coordinated_relocations']}, grants "
+        f"{planner['grants']} / denies {planner['denies']}, replay "
+        f"identical: {planner['replay_identical']}, sharded identical: "
+        f"{planner['sharded_serial_vs_parallel_identical']}"
     )
 
     print(f"[bench] concurrent workload fleet + sweep...", flush=True)
