@@ -25,11 +25,30 @@ import math
 from dataclasses import dataclass
 from typing import Callable, Mapping
 
+import numpy as np
+
 from repro.dataflow.placement import Placement
 from repro.dataflow.tree import CombinationTree
 
 #: ``estimator(host_a, host_b) -> bytes/second`` — monitoring's view.
 BandwidthEstimator = Callable[[str, str], float]
+
+
+def snapshot_safe(estimator: BandwidthEstimator) -> bool:
+    """True when ``estimator`` may be frozen into a bandwidth matrix.
+
+    The vectorized planner engine snapshots the estimator into an
+    ``H x H`` matrix once per plan call (a handful of queries) instead of
+    replaying the scalar search's thousands of per-candidate calls.
+    That is only sound for estimators that are pure within one planning
+    call: an estimator with per-call side effects — the live monitoring
+    view emits a ``monitor.estimate`` trace event per query — must keep
+    the scalar search's exact call sequence or observable event streams
+    change.  Such estimators declare themselves with a
+    ``snapshot_safe = False`` attribute and the engine falls back to the
+    scalar reference search; plain callables are assumed safe.
+    """
+    return bool(getattr(estimator, "snapshot_safe", True))
 
 
 def _phi(x: float) -> float:
@@ -199,11 +218,27 @@ class CostModel:
             for path in self.server_paths
         )
         #: node id -> indices of the server paths passing through it.
-        self.paths_through: dict[str, tuple[int, ...]] = {}
+        #: Built by list accumulation and frozen once — the old
+        #: tuple-append (``+= (index,)``) rebuilt a tuple per path, an
+        #: O(paths^2) construction for the nodes near the root.
+        through: dict[str, list[int]] = {}
         for index, path in enumerate(self.server_paths):
             for node_id in path:
-                self.paths_through.setdefault(node_id, ())
-                self.paths_through[node_id] += (index,)
+                through.setdefault(node_id, []).append(index)
+        self.paths_through: dict[str, tuple[int, ...]] = {
+            node_id: tuple(indices) for node_id, indices in through.items()
+        }
+        self._arrays: "CostModelArrays | None" = None
+
+    def arrays(self) -> "CostModelArrays":
+        """Integer-indexed views for the vectorized planner engine.
+
+        Built lazily and cached — the arrays are pure functions of the
+        (immutable) tree, sizes and path structure.
+        """
+        if self._arrays is None:
+            self._arrays = CostModelArrays(self)
+        return self._arrays
 
     def node_seconds(self, node_id: str) -> float:
         """Per-partition processing cost of a node (disk read / compose)."""
@@ -248,6 +283,117 @@ class CostModel:
             parent_host=placement.host_of(node.parent),
             seconds=self.edge_seconds(child, placement, estimator),
         )
+
+
+class CostModelArrays:
+    """Dense integer-indexed mirror of a :class:`CostModel`.
+
+    Node ids map to ints in ``tree.nodes()`` (sorted-id) order and server
+    paths keep ``CostModel.server_paths`` order, so a placement becomes
+    an int array and the batch evaluator
+    (:class:`repro.dataflow.critical.BatchMoveEvaluator`) prices whole
+    move grids with numpy reductions.  Everything here is
+    placement-independent and computed once per cost model.
+    """
+
+    def __init__(self, cost_model: CostModel) -> None:
+        tree = cost_model.tree
+        self.node_ids: tuple[str, ...] = tuple(
+            node.node_id for node in tree.nodes()
+        )
+        self.node_index: dict[str, int] = {
+            node_id: i for i, node_id in enumerate(self.node_ids)
+        }
+        index = self.node_index
+        n = len(self.node_ids)
+
+        self.node_seconds = np.array(
+            [cost_model.node_seconds(node_id) for node_id in self.node_ids]
+        )
+        self.sizes = np.array(
+            [cost_model.sizes[node_id] for node_id in self.node_ids]
+        )
+
+        # Adjacency: parent / first / second child, -1 where absent
+        # (servers have no children, the client no parent; operators are
+        # binary by construction).
+        self.parent = np.full(n, -1, dtype=np.intp)
+        self.child1 = np.full(n, -1, dtype=np.intp)
+        self.child2 = np.full(n, -1, dtype=np.intp)
+        for i, node_id in enumerate(self.node_ids):
+            node = tree.node(node_id)
+            if node.parent is not None:
+                self.parent[i] = index[node.parent]
+            if node.children:
+                self.child1[i] = index[node.children[0]]
+            if len(node.children) > 1:
+                self.child2[i] = index[node.children[1]]
+
+        # Edges in ``CostModel.edges`` order (the scalar occupancy
+        # accumulation order, which the batch evaluator replicates).
+        self.edge_child = np.array(
+            [index[c] for c, _, _ in cost_model.edges], dtype=np.intp
+        )
+        self.edge_parent = np.array(
+            [index[p] for _, p, _ in cost_model.edges], dtype=np.intp
+        )
+        self.edge_size = np.array([s for _, _, s in cost_model.edges])
+
+        # Server paths padded with -1: all nodes (latency/bottleneck
+        # walks) and the per-edge prefix ``path[:-1]`` (edge sums).
+        paths = cost_model.server_paths
+        self.num_paths = len(paths)
+        depth = max(len(path) for path in paths)
+        self.path_nodes = np.full((self.num_paths, depth), -1, dtype=np.intp)
+        self.path_edge_nodes = np.full(
+            (self.num_paths, depth - 1), -1, dtype=np.intp
+        )
+        for pi, path in enumerate(paths):
+            ids = [index[node_id] for node_id in path]
+            self.path_nodes[pi, : len(ids)] = ids
+            self.path_edge_nodes[pi, : len(ids) - 1] = ids[:-1]
+        self.path_node_sums = np.array(cost_model.path_node_sums)
+
+        # Clamped adjacency (dummy index 0 where absent) plus presence
+        # masks, so hot gathers need no per-call bounds handling.
+        self.has_child1 = self.child1 >= 0
+        self.has_child2 = self.child2 >= 0
+        self.child1_clamped = np.where(self.has_child1, self.child1, 0)
+        self.child2_clamped = np.where(self.has_child2, self.child2, 0)
+        self.parent_clamped = np.where(self.parent >= 0, self.parent, 0)
+        self.path_nodes_valid = self.path_nodes >= 0
+        self.path_nodes_clamped = np.where(self.path_nodes_valid, self.path_nodes, 0)
+        self.path_edge_valid = self.path_edge_nodes >= 0
+        self.path_edge_clamped = np.where(
+            self.path_edge_valid, self.path_edge_nodes, 0
+        )
+
+        # Node-on-path incidence plus per-node gather tables over the
+        # affected (through-this-node) paths: ``affected`` holds the path
+        # indices from ``paths_through`` left-justified, ``affected_*``
+        # mark which of those columns pass through the node's first or
+        # second child (the scalar delta-application tests).
+        self.on_path = np.zeros((n, self.num_paths), dtype=bool)
+        for node_id, indices in cost_model.paths_through.items():
+            self.on_path[index[node_id], list(indices)] = True
+        self.affected = np.full((n, self.num_paths), -1, dtype=np.intp)
+        self.affected_clamped = np.zeros((n, self.num_paths), dtype=np.intp)
+        self.affected_valid = np.zeros((n, self.num_paths), dtype=bool)
+        self.affected_child1 = np.zeros((n, self.num_paths), dtype=bool)
+        self.affected_child2 = np.zeros((n, self.num_paths), dtype=bool)
+        for i in range(n):
+            hits = np.flatnonzero(self.on_path[i])
+            self.affected[i, : hits.size] = hits
+            self.affected_clamped[i, : hits.size] = hits
+            self.affected_valid[i, : hits.size] = True
+            if self.child1[i] >= 0:
+                self.affected_child1[i, : hits.size] = self.on_path[
+                    self.child1[i], hits
+                ]
+            if self.child2[i] >= 0:
+                self.affected_child2[i, : hits.size] = self.on_path[
+                    self.child2[i], hits
+                ]
 
 
 class RecordingEstimator:

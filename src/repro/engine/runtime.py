@@ -342,6 +342,9 @@ class Runtime:
         def estimate(a: str, b: str) -> float:
             return self.monitoring.estimate(viewer_host, a, b, self.env.now).bandwidth
 
+        # Live view: each call may emit a traced MONITOR_ESTIMATE event,
+        # so batch engines must not collapse the call sequence.
+        estimate.snapshot_safe = False
         return estimate
 
     def snapshot_estimator(self, viewer_host: str):
@@ -370,6 +373,9 @@ class Runtime:
                 return float("inf")
             return matrix[(a, b) if a < b else (b, a)]
 
+        # Pure dict lookups over a frozen matrix: safe for the vectorized
+        # planner engine to snapshot once per plan call.
+        estimate.snapshot_safe = True
         return estimate
 
     def remote_probe(self, requester_host: str, a: str, b: str):

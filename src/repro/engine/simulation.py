@@ -149,6 +149,7 @@ def build_query(
             list(spec.all_hosts),
             cost_model,
             server_replicas=server_replicas,
+            planner_engine=spec.planner_engine,
         )
         if planner_wrapper is not None:
             planner = planner_wrapper(planner, "controller")
@@ -161,6 +162,7 @@ def build_query(
             list(spec.all_hosts),
             cost_model,
             extra_candidates=spec.local_extra_candidates,
+            planner_engine=spec.planner_engine,
         )
         if planner_wrapper is not None:
             planner = planner_wrapper(planner, "controller")
@@ -243,6 +245,13 @@ def _initial_placement(
     def estimator(a: str, b: str) -> float:
         return monitoring.estimate(spec.client_host, a, b, 0.0).bandwidth
 
+    # Every estimate() call can emit a traced MONITOR_ESTIMATE event, so
+    # this live view is not snapshot-safe: the vectorized engine would
+    # collapse the per-candidate call sequence into one matrix fill and
+    # change the event stream.  Marking it keeps the t=0 plan on the
+    # scalar path regardless of spec.planner_engine.
+    estimator.snapshot_safe = False
+
     initial_algorithm = (
         Algorithm.DOWNLOAD_ALL
         if spec.algorithm is Algorithm.DOWNLOAD_ALL
@@ -254,6 +263,7 @@ def _initial_placement(
         list(spec.all_hosts),
         cost_model,
         server_replicas=server_replicas,
+        planner_engine=spec.planner_engine,
     )
     if planner_wrapper is not None:
         planner = planner_wrapper(planner, "initial")

@@ -24,8 +24,17 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro.dataflow.cost import BandwidthEstimator, CostModel, RecordingEstimator
-from repro.dataflow.critical import SingleMoveEvaluator, critical_path
+from repro.dataflow.cost import (
+    BandwidthEstimator,
+    CostModel,
+    RecordingEstimator,
+    snapshot_safe,
+)
+from repro.dataflow.critical import (
+    BatchMoveEvaluator,
+    SingleMoveEvaluator,
+    critical_path,
+)
 from repro.dataflow.placement import Placement
 from repro.dataflow.tree import CombinationTree
 from repro.obs.events import PLANNER_SEARCH
@@ -54,9 +63,21 @@ class OneShotPlanner:
         dataset is replicated may be *served* from any replica, so the
         search treats them as movable among those hosts (the paper's
         assumption 3 relaxed).
+    engine:
+        ``"vectorized"`` (default) prices each round's whole move grid in
+        one numpy pass (:class:`repro.dataflow.critical.BatchMoveEvaluator`),
+        bit-identical to the scalar search; ``"scalar"`` forces the
+        reference per-candidate loop.  The vectorized engine snapshots
+        the estimator once per plan call, so estimators with per-call
+        side effects (``snapshot_safe = False``, e.g. the live traced
+        monitoring view) automatically take the scalar path — the engine
+        actually used is reported in :attr:`last_engine`.
     """
 
     name = "one-shot"
+
+    #: Supported ``engine`` values.
+    engines = ("scalar", "vectorized")
 
     def __init__(
         self,
@@ -65,15 +86,24 @@ class OneShotPlanner:
         cost_model: CostModel,
         max_rounds: int = 200,
         server_replicas: "Optional[dict[str, tuple[str, ...]]]" = None,
+        engine: str = "vectorized",
     ) -> None:
         if not hosts:
             raise ValueError("need at least one candidate host")
         if max_rounds <= 0:
             raise ValueError(f"max_rounds must be positive, got {max_rounds!r}")
+        if engine not in self.engines:
+            raise ValueError(
+                f"unknown planner engine {engine!r}; choose from {self.engines}"
+            )
         self.tree = tree
         self.hosts = sorted(set(hosts))
         self.cost_model = cost_model
         self.max_rounds = max_rounds
+        self.engine = engine
+        #: Engine used by the most recent ``plan`` call ("scalar" or
+        #: "vectorized"); None before the first call.
+        self.last_engine: "Optional[str]" = None
         self.server_replicas = {
             server: tuple(replicas)
             for server, replicas in (server_replicas or {}).items()
@@ -82,6 +112,12 @@ class OneShotPlanner:
         for server in self.server_replicas:
             if server not in tree or not tree.node(server).is_server:
                 raise ValueError(f"{server!r} is not a server of this tree")
+        self._operator_ids = tuple(op.node_id for op in tree.operators())
+        self._all_hosts = tuple(self.hosts)
+        #: Persistent cell-structure cache shared across plan calls (the
+        #: grids are placement-independent, see
+        #: :class:`repro.dataflow.critical.BatchMoveEvaluator`).
+        self._grid_cache: dict = {}
 
     def plan(
         self,
@@ -95,8 +131,27 @@ class OneShotPlanner:
         """Run the search from ``initial`` using ``estimator`` for bandwidths.
 
         ``seed`` is accepted for :class:`~repro.placement.base.Planner`
-        uniformity (the search is deterministic and ignores it).
+        uniformity (the search is deterministic and ignores it).  The
+        vectorized engine is used when configured *and* the estimator is
+        snapshot-safe; both engines return bit-identical results.
         """
+        if self.engine == "vectorized" and snapshot_safe(estimator):
+            self.last_engine = "vectorized"
+            return self._plan_vectorized(
+                estimator, initial, tracer=tracer, now=now
+            )
+        self.last_engine = "scalar"
+        return self._plan_scalar(estimator, initial, tracer=tracer, now=now)
+
+    def _plan_scalar(
+        self,
+        estimator: BandwidthEstimator,
+        initial: Placement,
+        *,
+        tracer=None,
+        now: float = 0.0,
+    ) -> PlanResult:
+        """The reference per-candidate search (the paper's pseudocode)."""
         recorder = RecordingEstimator(estimator)
         current = initial
         current_cost = critical_path(
@@ -151,6 +206,69 @@ class OneShotPlanner:
             algorithm=self.name,
         )
 
+    def _plan_vectorized(
+        self,
+        estimator: BandwidthEstimator,
+        initial: Placement,
+        *,
+        tracer=None,
+        now: float = 0.0,
+    ) -> PlanResult:
+        """Batch-priced search, bit-identical to :meth:`_plan_scalar`.
+
+        One :class:`BatchMoveEvaluator` carries the round state across
+        the whole call (the scalar path rebuilds its evaluator every
+        round); candidate enumeration, tie-breaks and link recording
+        replicate the scalar loop exactly.
+        """
+        evaluator = BatchMoveEvaluator(
+            self.tree,
+            initial,
+            self.cost_model,
+            estimator,
+            self.hosts,
+            grid_cache=self._grid_cache,
+        )
+        current = initial
+        current_cost = evaluator.critical_path().cost
+        rounds = 0
+        candidates = 0
+
+        for _ in range(self.max_rounds):
+            rounds += 1
+            path = evaluator.critical_path()
+            cells, best_cost, best_move = evaluator.price_moves(
+                self._candidate_moves(path, current), current_cost
+            )
+            candidates += cells
+            if best_cost < current_cost and best_move is not None:
+                current = current.with_move(*best_move)
+                evaluator.apply_move(*best_move)
+                current_cost = best_cost
+            else:
+                break
+
+        links = evaluator.links_queried()
+        tracer = ensure_tracer(tracer)
+        if tracer.enabled:
+            tracer.emit(
+                PLANNER_SEARCH,
+                now,
+                algorithm=self.name,
+                rounds=rounds,
+                candidates=candidates,
+                links=len(links),
+                cost=current_cost,
+            )
+        return PlanResult(
+            placement=current,
+            cost=current_cost,
+            rounds=rounds,
+            candidates_evaluated=candidates,
+            links_queried=links,
+            algorithm=self.name,
+        )
+
     def _candidate_moves(
         self, path, placement: Placement
     ) -> list[tuple[str, tuple[str, ...]]]:
@@ -169,10 +287,10 @@ class OneShotPlanner:
         """
         path_hosts = {placement.host_of(node_id) for node_id in path.nodes}
         candidates = set(path.operators)
-        for op in self.tree.operators():
-            if placement.host_of(op.node_id) in path_hosts:
-                candidates.add(op.node_id)
-        all_hosts = tuple(self.hosts)
+        for op_id in self._operator_ids:
+            if placement.host_of(op_id) in path_hosts:
+                candidates.add(op_id)
+        all_hosts = self._all_hosts
         moves = [(node_id, all_hosts) for node_id in sorted(candidates)]
         for server, replicas in sorted(self.server_replicas.items()):
             if server in path.nodes or placement.host_of(server) in path_hosts:

@@ -1,7 +1,9 @@
 """Cost model: expected sizes, node and edge costs."""
 
 import math
+import time
 
+import numpy as np
 import pytest
 
 from repro.dataflow.cost import (
@@ -9,6 +11,7 @@ from repro.dataflow.cost import (
     RecordingEstimator,
     clark_max,
     expected_output_sizes,
+    snapshot_safe,
 )
 from repro.dataflow.placement import Placement
 from repro.dataflow.tree import complete_binary_tree, left_deep_tree
@@ -137,3 +140,113 @@ class TestRecordingEstimator:
     def test_passes_values_through(self):
         recorder = RecordingEstimator(flat_estimator(5.0))
         assert recorder("x", "y") == 5.0
+
+
+class TestSnapshotSafe:
+    def test_plain_callables_are_safe(self):
+        assert snapshot_safe(flat_estimator(5.0))
+        assert snapshot_safe(RecordingEstimator(flat_estimator(5.0)))
+
+    def test_marked_estimators_opt_out(self):
+        def live(a, b):
+            return 5.0
+
+        live.snapshot_safe = False
+        assert not snapshot_safe(live)
+        live.snapshot_safe = True
+        assert snapshot_safe(live)
+
+
+def _model_for(tree):
+    sizes = {node.node_id: 1000.0 for node in tree.nodes()}
+    return CostModel(tree, sizes, startup_cost=0.05, disk_rate=10000.0)
+
+
+class TestPathsThrough:
+    @pytest.mark.parametrize("make", [complete_binary_tree, left_deep_tree])
+    def test_matches_brute_force(self, make):
+        model = _model_for(make(9))
+        for node_id in {n for path in model.server_paths for n in path}:
+            expected = tuple(
+                i
+                for i, path in enumerate(model.server_paths)
+                if node_id in path
+            )
+            assert model.paths_through[node_id] == expected
+
+    def test_indices_are_in_path_order(self):
+        model = _model_for(complete_binary_tree(8))
+        for indices in model.paths_through.values():
+            assert list(indices) == sorted(indices)
+
+    def test_construction_scales_with_path_elements(self):
+        # The old tuple-append build (`through[n] += (index,)`) rebuilt a
+        # tuple per path, so nodes near the root cost O(paths^2) — a
+        # complete binary tree's whole build degraded from
+        # O(paths * depth) to O(paths^2).  Quadrupling the servers must
+        # scale construction like path elements (~4.7x here), nowhere
+        # near the old 16x.
+        def build_seconds(num_servers):
+            tree = complete_binary_tree(num_servers)
+            sizes = {node.node_id: 1000.0 for node in tree.nodes()}
+            best = float("inf")
+            for _ in range(3):
+                start = time.perf_counter()
+                CostModel(tree, sizes, startup_cost=0.05, disk_rate=10000.0)
+                best = min(best, time.perf_counter() - start)
+            return best
+
+        small, big = build_seconds(512), build_seconds(2048)
+        assert big < 10 * small + 0.05
+
+
+class TestCostModelArrays:
+    def test_arrays_are_cached(self):
+        model = _model_for(complete_binary_tree(4))
+        assert model.arrays() is model.arrays()
+
+    @pytest.mark.parametrize("make", [complete_binary_tree, left_deep_tree])
+    def test_mirror_matches_scalar_structures(self, make):
+        tree = make(6)
+        model = _model_for(tree)
+        arrays = model.arrays()
+        index = arrays.node_index
+        assert list(arrays.node_ids) == [n.node_id for n in tree.nodes()]
+        for i, node_id in enumerate(arrays.node_ids):
+            node = tree.node(node_id)
+            assert arrays.node_seconds[i] == model.node_seconds(node_id)
+            assert arrays.sizes[i] == model.sizes[node_id]
+            parent = -1 if node.parent is None else index[node.parent]
+            assert arrays.parent[i] == parent
+            children = [index[c] for c in node.children]
+            assert arrays.child1[i] == (children[0] if children else -1)
+            assert arrays.child2[i] == (
+                children[1] if len(children) > 1 else -1
+            )
+        for e, (child, parent, size) in enumerate(model.edges):
+            assert arrays.edge_child[e] == index[child]
+            assert arrays.edge_parent[e] == index[parent]
+            assert arrays.edge_size[e] == size
+        assert np.array_equal(
+            arrays.path_node_sums, np.array(model.path_node_sums)
+        )
+
+    def test_incidence_matches_paths_through(self):
+        model = _model_for(complete_binary_tree(8))
+        arrays = model.arrays()
+        for node_id, indices in model.paths_through.items():
+            i = arrays.node_index[node_id]
+            assert list(np.flatnonzero(arrays.on_path[i])) == list(indices)
+            hits = arrays.affected[i][arrays.affected_valid[i]]
+            assert list(hits) == list(indices)
+            # The child masks tag exactly the affected columns whose path
+            # also passes through that child.
+            for mask, child in (
+                (arrays.affected_child1[i], arrays.child1[i]),
+                (arrays.affected_child2[i], arrays.child2[i]),
+            ):
+                if child < 0:
+                    assert not mask.any()
+                else:
+                    expected = arrays.on_path[child, hits]
+                    assert np.array_equal(mask[: hits.size], expected)

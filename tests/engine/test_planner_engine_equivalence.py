@@ -1,0 +1,162 @@
+"""Vectorized vs scalar planner engine: bit-identical full runs.
+
+The engine switch must be *observationally invisible*: a run with
+``planner_engine="scalar"`` (the reference per-candidate search) and the
+default vectorized run must agree on every metric, every arrival time
+and the byte-exact obs event stream, across all four algorithms, with
+and without the reference chaos plan, and under the concurrent
+fleet-coordinated workload.
+"""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.engine.config import Algorithm, SimulationSpec
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_configuration
+from repro.faults import reference_chaos_plan
+from repro.obs import Tracer
+
+ALGORITHMS = [
+    Algorithm.DOWNLOAD_ALL,
+    Algorithm.ONE_SHOT,
+    Algorithm.LOCAL,
+    Algorithm.GLOBAL,
+]
+
+SETUP = ExperimentConfig(num_servers=4, images_per_server=8)
+
+
+def _stream_digest(tracer: Tracer) -> str:
+    """Content hash of the obs stream with run-relative message uids."""
+    uids = sorted({e["uid"] for e in tracer.events if "uid" in e})
+    rank = {uid: i for i, uid in enumerate(uids)}
+    events = [
+        {**e, "uid": rank[e["uid"]]} if "uid" in e else e
+        for e in tracer.events
+    ]
+    return hashlib.sha256(
+        json.dumps(events, sort_keys=True).encode()
+    ).hexdigest()
+
+
+def _pair(setup, index, algorithm):
+    """(vectorized, scalar) metrics+digest for one configuration."""
+    fast_tracer, ref_tracer = Tracer(), Tracer()
+    fast = run_configuration(
+        setup, index, algorithm, tracer=fast_tracer,
+        planner_engine="vectorized",
+    )
+    ref = run_configuration(
+        setup, index, algorithm, tracer=ref_tracer, planner_engine="scalar"
+    )
+    return fast, _stream_digest(fast_tracer), ref, _stream_digest(ref_tracer)
+
+
+class TestSpecValidation:
+    def test_unknown_engine_rejected(self):
+        from repro.experiments.config import build_spec
+
+        with pytest.raises(ValueError, match="planner engine"):
+            build_spec(SETUP, 0, Algorithm.GLOBAL, planner_engine="simd")
+
+    def test_experiment_config_forwards_engine(self):
+        from repro.experiments.config import build_spec
+
+        setup = ExperimentConfig(
+            num_servers=4, images_per_server=8, planner_engine="scalar"
+        )
+        assert build_spec(setup, 0, Algorithm.GLOBAL).planner_engine == "scalar"
+        assert (
+            build_spec(SETUP, 0, Algorithm.GLOBAL).planner_engine
+            == "vectorized"
+        )
+
+
+class TestRunEquivalence:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_no_fault_runs_identical(self, algorithm):
+        fast, fd, ref, rd = _pair(SETUP, 0, algorithm)
+        assert fast.summary() == ref.summary()
+        assert fast.arrival_times == ref.arrival_times
+        assert fd == rd
+
+    @pytest.mark.parametrize(
+        "algorithm", [Algorithm.GLOBAL, Algorithm.ONE_SHOT]
+    )
+    def test_chaos_runs_identical(self, algorithm):
+        hosts = (*SETUP.server_hosts, SETUP.client_host)
+        setup = ExperimentConfig(
+            num_servers=4,
+            images_per_server=8,
+            fault_plan=reference_chaos_plan(hosts, seed=1),
+        )
+        fast, fd, ref, rd = _pair(setup, 0, algorithm)
+        assert fast.summary() == ref.summary()
+        assert fast.arrival_times == ref.arrival_times
+        assert fd == rd
+
+
+class TestWorkloadEquivalence:
+    def test_fleet_coordinated_workload_identical(self):
+        from repro.fleet import FleetPolicy
+        from repro.workload import (
+            ClosedLoop,
+            QueryClass,
+            WorkloadSpec,
+            run_workload,
+        )
+
+        def build(engine: str):
+            return WorkloadSpec(
+                classes=(
+                    QueryClass(name="global", algorithm=Algorithm.GLOBAL),
+                    QueryClass(name="one-shot", algorithm=Algorithm.ONE_SHOT),
+                ),
+                num_clients=2,
+                queries_per_client=1,
+                arrivals=ClosedLoop(think_time=2.0),
+                seed=11,
+                num_servers=4,
+                images_per_server=4,
+                fleet=FleetPolicy(mode="coordinated"),
+                planner_engine=engine,
+            )
+
+        fast_tracer, ref_tracer = Tracer(), Tracer()
+        fast = run_workload(build("vectorized"), tracer=fast_tracer)
+        ref = run_workload(build("scalar"), tracer=ref_tracer)
+        assert fast.to_dict() == ref.to_dict()
+        assert _stream_digest(fast_tracer) == _stream_digest(ref_tracer)
+
+
+class TestCliSmoke:
+    def test_compare_byte_identical_under_chaos(self, tmp_path, capsys):
+        from repro.cli import main
+
+        hosts = tuple(f"h{i}" for i in range(4)) + ("client",)
+        plan_path = tmp_path / "chaos.json"
+        reference_chaos_plan(hosts, seed=1).to_json(plan_path)
+        outputs = {}
+        for engine in ("vectorized", "scalar"):
+            code = main(
+                [
+                    "compare",
+                    "--servers",
+                    "4",
+                    "--images",
+                    "6",
+                    "--configs",
+                    "1",
+                    "--faults",
+                    str(plan_path),
+                    "--planner-engine",
+                    engine,
+                ]
+            )
+            assert code == 0
+            outputs[engine] = capsys.readouterr().out
+        assert outputs["vectorized"] == outputs["scalar"]
+        assert "download-all" in outputs["vectorized"]

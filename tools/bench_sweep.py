@@ -16,6 +16,11 @@ benchmarks the kernel/trace hot paths:
   network configuration for every ``(config, algorithm)`` run;
 * run-tracing overhead — the same simulation with the tracer off vs on
   (the no-op tracer must stay effectively free);
+* planner engine — the vectorized move-grid pricing
+  (``BatchMoveEvaluator``) vs the scalar per-candidate reference at the
+  paper's 8-server scale, both evaluator-level (cells/second on one
+  round's full grid) and end-to-end (``plan()`` candidates/second),
+  with a bit-identical ``PlanResult`` equality check;
 * streaming fleet metrics at scale — a 100k-client synthetic open-loop
   stream through ``StreamingFleetMetrics``: ingest rate, flat-memory
   check, sketch error vs exact percentiles, shard-merge invariance;
@@ -92,6 +97,129 @@ def bench_tracer_overhead(repeats: int = 3) -> dict:
         "tracer_on_seconds": round(on_seconds, 4),
         "on_over_off_ratio": round(on_seconds / off_seconds, 3),
         "events_recorded": events,
+    }
+
+
+def bench_planner(quick: bool = False) -> dict:
+    """Planner-engine grid pricing: vectorized vs the scalar reference.
+
+    Builds the paper-scale 8-server combination tree with a seeded
+    asymmetric estimator and times two levels of the same hot path:
+
+    * evaluator level — one planning round's full (operator x host) move
+      grid priced by ``BatchMoveEvaluator.price_moves`` vs the
+      ``SingleMoveEvaluator.cost_of_move`` per-cell loop the scalar
+      search runs;
+    * end-to-end — repeated ``OneShotPlanner.plan`` calls with each
+      engine (this includes per-call snapshot construction, candidate
+      enumeration and the per-round reductions, so the speedup is
+      smaller than the evaluator-level number).
+
+    Asserts the vectorized engine actually engaged (``last_engine``) and
+    that both engines return identical plans.
+    """
+    import random
+
+    from repro.dataflow.cost import CostModel
+    from repro.dataflow.critical import (
+        BatchMoveEvaluator,
+        SingleMoveEvaluator,
+        critical_path,
+    )
+    from repro.dataflow.placement import Placement
+    from repro.dataflow.tree import complete_binary_tree
+    from repro.placement.one_shot import OneShotPlanner
+
+    rng = random.Random(7)
+    num_servers = 8  # the paper's scale
+    tree = complete_binary_tree(num_servers)
+    hosts = [f"h{i}" for i in range(num_servers)] + ["client"]
+    sizes = {node.node_id: rng.uniform(1e4, 1e6) for node in tree.nodes()}
+    model = CostModel(tree, sizes, startup_cost=0.05, disk_rate=3e6)
+    server_hosts = {
+        server.node_id: hosts[i] for i, server in enumerate(tree.servers())
+    }
+    start = Placement.all_at_client(tree, server_hosts, "client")
+    bandwidth: dict = {}
+
+    def estimator(a, b):
+        key = (a, b)
+        if key not in bandwidth:
+            bandwidth[key] = rng.uniform(1e5, 1e7)
+        return bandwidth[key]
+
+    moves = [(op.node_id, tuple(sorted(hosts))) for op in tree.operators()]
+    grid_cells = sum(len(hs) - 1 for _, hs in moves)
+    base_cost = critical_path(tree, start, model, estimator).cost
+    reps = 50 if quick else 300
+    # Machine noise on shared runners swings single trials ~3x; take the
+    # best of several so the recorded rates reflect the hardware, not
+    # the neighbours.
+    tries = 2 if quick else 7
+
+    def best_of(trial):
+        return max(trial() for _ in range(tries))
+
+    def scalar_trial():
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            evaluator = SingleMoveEvaluator(tree, start, model, estimator)
+            for node_id, candidate_hosts in moves:
+                current = start.host_of(node_id)
+                for host in candidate_hosts:
+                    if host != current:
+                        evaluator.cost_of_move(node_id, host)
+        return reps * grid_cells / (time.perf_counter() - t0)
+
+    batch = BatchMoveEvaluator(tree, start, model, estimator, hosts)
+
+    def batch_trial():
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            batch.price_moves(moves, base_cost)
+        return reps * grid_cells / (time.perf_counter() - t0)
+
+    scalar_rate = best_of(scalar_trial)
+    batch_rate = best_of(batch_trial)
+
+    plan_reps = 10 if quick else 60
+
+    def plan_bench(engine):
+        planner = OneShotPlanner(tree, hosts, model, engine=engine)
+        result = planner.plan(estimator, start)
+
+        def trial():
+            t0 = time.perf_counter()
+            for _ in range(plan_reps):
+                planner.plan(estimator, start)
+            elapsed = time.perf_counter() - t0
+            return plan_reps * result.candidates_evaluated / elapsed
+
+        return result, planner.last_engine, best_of(trial)
+
+    scalar_result, _, scalar_plan_rate = plan_bench("scalar")
+    vector_result, engaged, vector_plan_rate = plan_bench("vectorized")
+    identical = (
+        scalar_result.placement == vector_result.placement
+        and scalar_result.cost == vector_result.cost  # bitwise
+        and scalar_result.rounds == vector_result.rounds
+        and scalar_result.candidates_evaluated
+        == vector_result.candidates_evaluated
+        and scalar_result.links_queried == vector_result.links_queried
+    )
+
+    return {
+        "num_servers": num_servers,
+        "grid_cells": grid_cells,
+        "rounds": vector_result.rounds,
+        "scalar_cells_per_second": round(scalar_rate),
+        "vectorized_cells_per_second": round(batch_rate),
+        "evaluator_speedup": round(batch_rate / scalar_rate, 2),
+        "scalar_plan_candidates_per_second": round(scalar_plan_rate),
+        "vectorized_plan_candidates_per_second": round(vector_plan_rate),
+        "plan_speedup": round(vector_plan_rate / scalar_plan_rate, 2),
+        "plan_results_identical": identical,
+        "vectorized_engaged": engaged == "vectorized",
     }
 
 
@@ -750,7 +878,12 @@ def main(argv=None) -> int:
     from repro.experiments.parallel import resolve_workers
 
     cpu_count = os.cpu_count()
-    workers_effective = resolve_workers(args.workers)
+    workers_resolved = resolve_workers(args.workers)
+    # A pool bigger than the machine never runs more than cpu_count
+    # workers at once: report the parallelism actually measured, and
+    # flag the oversubscribed regime so pool-speedup numbers are read
+    # against the right ceiling (see docs/performance.md).
+    workers_effective = min(workers_resolved, cpu_count or 1)
     single_cpu = (cpu_count or 1) <= 1
     results: dict = {
         "machine": {
@@ -758,7 +891,9 @@ def main(argv=None) -> int:
             "python": platform.python_version(),
             "cpu_count": cpu_count,
             "workers_requested": args.workers,
+            "workers_resolved": workers_resolved,
             "workers_effective": workers_effective,
+            "workers_oversubscribed": workers_resolved > workers_effective,
             # On a 1-CPU machine the parallel legs measure pool overhead
             # only; a speedup < 1 there is expected, not a regression.
             "single_cpu_pool_overhead_only": single_cpu,
@@ -825,6 +960,20 @@ def main(argv=None) -> int:
         f"{overhead['tracer_on_seconds']}s "
         f"({overhead['on_over_off_ratio']}x, "
         f"{overhead['events_recorded']:,} events)"
+    )
+
+    print(f"[bench] planner engine (vectorized vs scalar pricing)...", flush=True)
+    results["planner"] = bench_planner(quick=args.quick)
+    eng = results["planner"]
+    print(
+        f"         evaluator {eng['scalar_cells_per_second']:,} -> "
+        f"{eng['vectorized_cells_per_second']:,} cells/s "
+        f"({eng['evaluator_speedup']}x), plan "
+        f"{eng['scalar_plan_candidates_per_second']:,} -> "
+        f"{eng['vectorized_plan_candidates_per_second']:,} cand/s "
+        f"({eng['plan_speedup']}x), identical: "
+        f"{eng['plan_results_identical']}, engaged: "
+        f"{eng['vectorized_engaged']}"
     )
 
     print(f"[bench] streaming fleet metrics at scale...", flush=True)
